@@ -1,0 +1,122 @@
+// Command protego-bench regenerates every table and figure of the paper's
+// evaluation from the simulation:
+//
+//	protego-bench -table 1     summary of results
+//	protego-bench -table 2     lines of code per component
+//	protego-bench -table 3     setuid package installation statistics
+//	protego-bench -table 4     the interface policy study
+//	protego-bench -table 5     performance overheads (lmbench-style + macro)
+//	protego-bench -table 6     historical vulnerabilities, contained
+//	protego-bench -table 7     functional equivalence of the utilities
+//	protego-bench -table 8     the long tail of remaining setuid binaries
+//	protego-bench -figure 1    the mount control-flow comparison
+//	protego-bench -all         everything
+//
+// -quick shrinks the macro workloads for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protego/internal/bench"
+	"protego/internal/core"
+	"protego/internal/equiv"
+	"protego/internal/exploits"
+	"protego/internal/kernel"
+	"protego/internal/survey"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1-8)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (1)")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	repo := flag.String("repo", ".", "repository root for line counting (table 2)")
+	flag.Parse()
+
+	run := func(n int, fn func() error) {
+		if *all || *table == n {
+			if err := fn(); err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: table %d: %v\n", n, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	if !*all && *table == 0 && *figure == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run(1, func() error { return printTable1(*quick) })
+	run(2, func() error { return printTable2(*repo) })
+	run(3, func() error { fmt.Print(survey.FormatTable3()); return nil })
+	run(4, func() error { fmt.Print(core.FormatCatalog()); return nil })
+	run(5, func() error { return printTable5(*quick) })
+	run(6, func() error { return printTable6() })
+	run(7, func() error { return printTable7() })
+	run(8, func() error { fmt.Print(survey.FormatTable8()); return nil })
+
+	if *all || *figure == 1 {
+		if err := printFigure1(); err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: figure 1: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printTable5(quick bool) error {
+	cfg := bench.DefaultTable5Config()
+	if quick {
+		cfg.PostalMessages = 50
+		cfg.CompileFiles = 50
+		cfg.WebRequests = 400
+		cfg.WebConcurrency = []int{25, 50}
+	}
+	rows, err := bench.RunTable5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatTable5(rows))
+	return nil
+}
+
+func printTable6() error {
+	fmt.Println("Table 6: Historical privilege-escalation vulnerabilities")
+	fmt.Printf("%-16s %-22s %-16s %10s %10s\n", "CVE", "Utility", "Class", "Linux", "Protego")
+	linux, linuxSum, err := exploits.RunAll(kernel.ModeLinux)
+	if err != nil {
+		return err
+	}
+	protego, protegoSum, err := exploits.RunAll(kernel.ModeProtego)
+	if err != nil {
+		return err
+	}
+	esc := func(r *exploits.Result) string {
+		if r.Escalated {
+			return "ESCALATED"
+		}
+		return "contained"
+	}
+	for i := range linux {
+		fmt.Printf("%-16s %-22s %-16s %10s %10s\n",
+			linux[i].CVE.ID, linux[i].CVE.Utility, linux[i].CVE.Class, esc(linux[i]), esc(protego[i]))
+	}
+	fmt.Printf("\nBaseline escalations: %d/%d   Protego escalations: %d/%d (paper: 40/40 deprivileged)\n",
+		linuxSum.Escalated, linuxSum.Total, protegoSum.Escalated, protegoSum.Total)
+	return nil
+}
+
+func printTable7() error {
+	reports, err := equiv.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Print(equiv.FormatTable7(reports))
+	fmt.Println("\nStatement coverage of the utility implementations:")
+	fmt.Println("  go test -cover ./internal/userspace ./internal/equiv")
+	return nil
+}

@@ -1,0 +1,30 @@
+// Command protego-survey reproduces the installation-statistics analyses:
+// Table 3 (setuid package popularity, recomputed weighted averages) and
+// Table 8 (the long tail of remaining setuid binaries by interface).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"protego/internal/survey"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (3 or 8); 0 prints both")
+	flag.Parse()
+	switch *table {
+	case 0:
+		fmt.Print(survey.FormatTable3())
+		fmt.Println()
+		fmt.Print(survey.FormatTable8())
+	case 3:
+		fmt.Print(survey.FormatTable3())
+	case 8:
+		fmt.Print(survey.FormatTable8())
+	default:
+		fmt.Fprintf(os.Stderr, "protego-survey: no table %d (have 3 and 8)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+// Passwdless demonstrates §4.4 on a Protego machine: the shared credential
+// databases are fragmented into per-account files matching DAC
+// granularity, so passwd and chsh run without privilege; the monitoring
+// daemon keeps the legacy /etc/passwd and /etc/shadow synchronized for
+// applications that still read them; and users cannot touch each other's
+// records — or even read their own shadow hash without reauthenticating.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"protego/internal/userspace"
+	"protego/internal/vfs"
+	"protego/internal/world"
+)
+
+func main() {
+	m, err := world.BuildProtego()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, _ := m.Session("alice")
+	bob, _ := m.Session("bob")
+
+	fmt.Println("--- the fragmented database ---")
+	names, _ := m.K.FS.ReadDir(vfs.RootCred, "/etc/passwds")
+	fmt.Printf("/etc/passwds: %s\n", strings.Join(names, " "))
+	ino, _ := m.K.FS.Lookup(vfs.RootCred, "/etc/passwds/alice")
+	fmt.Printf("/etc/passwds/alice: %s uid=%d (owned by alice herself)\n\n", ino.Mode, ino.UID)
+
+	fmt.Println("--- alice changes her shell, unprivileged ---")
+	code, out, errOut, _ := m.Run(alice, []string{userspace.BinChsh, "-s", "/bin/zsh"},
+		world.AnswerWith(world.AlicePassword))
+	fmt.Printf("chsh -> exit %d %s%s", code, out, errOut)
+
+	// The daemon regenerates the legacy file for old consumers.
+	if err := m.Monitor.SyncAccountsFromFragments(); err != nil {
+		log.Fatal(err)
+	}
+	legacy, _ := m.K.FS.ReadFile(vfs.RootCred, "/etc/passwd")
+	for _, line := range strings.Split(string(legacy), "\n") {
+		if strings.HasPrefix(line, "alice:") {
+			fmt.Printf("legacy /etc/passwd now says: %s\n\n", line)
+		}
+	}
+
+	fmt.Println("--- alice changes her password; the kernel demands reauthentication ---")
+	asker := func(prompt string) string {
+		fmt.Printf("  prompt: %s\n", prompt)
+		if strings.Contains(prompt, "New password") {
+			return "correct-horse-battery"
+		}
+		return world.AlicePassword
+	}
+	code, out, errOut, _ = m.Run(alice, []string{userspace.BinPasswd}, asker)
+	fmt.Printf("passwd -> exit %d %s%s\n", code, out, errOut)
+
+	fmt.Println("--- isolation: bob cannot touch alice's records ---")
+	if _, err := m.K.ReadFile(bob, "/etc/passwds/alice"); err != nil {
+		fmt.Printf("bob reads  /etc/passwds/alice -> %v\n", err)
+	}
+	if _, err := m.K.ReadFile(bob, "/etc/shadows/alice"); err != nil {
+		fmt.Printf("bob reads  /etc/shadows/alice -> %v\n", err)
+	}
+	if err := m.K.WriteFile(bob, "/etc/passwds/eve", []byte("eve:x:0:0::/:/bin/sh\n")); err != nil {
+		fmt.Printf("bob forges /etc/passwds/eve   -> %v\n", err)
+	}
+
+	fmt.Println("\n--- and the new password is live at login ---")
+	root, _ := m.Session("root")
+	_ = m.Monitor.SyncAccountsFromFragments()
+	code, out, _, _ = m.Run(root, []string{userspace.BinLogin, "alice"}, world.AnswerWith("correct-horse-battery"))
+	fmt.Printf("login alice (new password) -> exit %d %s", code, out)
+	code, _, errOut, _ = m.Run(root, []string{userspace.BinLogin, "alice"}, world.AnswerWith(world.AlicePassword))
+	fmt.Printf("login alice (old password) -> exit %d %s", code, errOut)
+}

@@ -1,0 +1,3 @@
+module protego
+
+go 1.22

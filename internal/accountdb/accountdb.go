@@ -1,0 +1,199 @@
+// Package accountdb implements the credential databases of §4.4:
+// /etc/passwd, /etc/shadow, and /etc/group parsing and serialization, the
+// salted password hashing used by the authentication service, and the
+// Protego fragmentation of the shared database files into per-account files
+// (/etc/passwds/<user>, /etc/shadows/<user>, /etc/groups/<group>) whose DAC
+// permissions match the policy granularity — so passwd and chsh no longer
+// need root.
+package accountdb
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// User is one /etc/passwd record.
+type User struct {
+	Name  string
+	UID   int
+	GID   int
+	Gecos string
+	Home  string
+	Shell string
+}
+
+// Line renders the record in passwd(5) format (the password field is
+// always "x": real hashes live in shadow).
+func (u *User) Line() string {
+	return fmt.Sprintf("%s:x:%d:%d:%s:%s:%s", u.Name, u.UID, u.GID, u.Gecos, u.Home, u.Shell)
+}
+
+// ShadowEntry is one /etc/shadow record (simplified to the fields the
+// utilities use).
+type ShadowEntry struct {
+	Name string
+	Hash string // "$5$salt$hex", "!" (locked), or "" (no password)
+}
+
+// Line renders the record in shadow(5) format.
+func (s *ShadowEntry) Line() string {
+	return fmt.Sprintf("%s:%s:0:0:99999:7:::", s.Name, s.Hash)
+}
+
+// Group is one /etc/group record. A non-empty Password makes it a
+// password-protected group, joinable via newgrp after authentication.
+type Group struct {
+	Name     string
+	Password string // hash, or "" for none
+	GID      int
+	Members  []string
+}
+
+// Line renders the record in group(5) format.
+func (g *Group) Line() string {
+	pw := g.Password
+	if pw == "" {
+		pw = "x"
+	}
+	return fmt.Sprintf("%s:%s:%d:%s", g.Name, pw, g.GID, strings.Join(g.Members, ","))
+}
+
+// ParsePasswd parses passwd(5) content.
+func ParsePasswd(data string) ([]User, error) {
+	var users []User
+	for lineNo, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ":")
+		if len(f) < 7 {
+			return nil, fmt.Errorf("passwd line %d: expected 7 fields, got %d", lineNo+1, len(f))
+		}
+		uid, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("passwd line %d: bad uid %q", lineNo+1, f[2])
+		}
+		gid, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("passwd line %d: bad gid %q", lineNo+1, f[3])
+		}
+		users = append(users, User{Name: f[0], UID: uid, GID: gid, Gecos: f[4], Home: f[5], Shell: f[6]})
+	}
+	return users, nil
+}
+
+// FormatPasswd renders users in passwd(5) format, sorted by uid for
+// stable output.
+func FormatPasswd(users []User) string {
+	sorted := append([]User(nil), users...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].UID < sorted[j].UID })
+	var b strings.Builder
+	for i := range sorted {
+		b.WriteString(sorted[i].Line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseShadow parses shadow(5) content.
+func ParseShadow(data string) ([]ShadowEntry, error) {
+	var entries []ShadowEntry
+	for lineNo, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ":")
+		if len(f) < 2 {
+			return nil, fmt.Errorf("shadow line %d: expected at least 2 fields", lineNo+1)
+		}
+		entries = append(entries, ShadowEntry{Name: f[0], Hash: f[1]})
+	}
+	return entries, nil
+}
+
+// FormatShadow renders entries in shadow(5) format.
+func FormatShadow(entries []ShadowEntry) string {
+	sorted := append([]ShadowEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i := range sorted {
+		b.WriteString(sorted[i].Line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseGroup parses group(5) content.
+func ParseGroup(data string) ([]Group, error) {
+	var groups []Group
+	for lineNo, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Split(line, ":")
+		if len(f) < 4 {
+			return nil, fmt.Errorf("group line %d: expected 4 fields, got %d", lineNo+1, len(f))
+		}
+		gid, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("group line %d: bad gid %q", lineNo+1, f[2])
+		}
+		g := Group{Name: f[0], GID: gid}
+		if f[1] != "x" && f[1] != "" && f[1] != "*" {
+			g.Password = f[1]
+		}
+		for _, m := range strings.Split(f[3], ",") {
+			m = strings.TrimSpace(m)
+			if m != "" {
+				g.Members = append(g.Members, m)
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// FormatGroup renders groups in group(5) format.
+func FormatGroup(groups []Group) string {
+	sorted := append([]Group(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].GID < sorted[j].GID })
+	var b strings.Builder
+	for i := range sorted {
+		b.WriteString(sorted[i].Line())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HashPassword produces a salted SHA-256 hash in "$5$salt$hex" form — a
+// stand-in for crypt(3) with the same structural properties (salted,
+// one-way, constant-time comparable).
+func HashPassword(password, salt string) string {
+	h := sha256.New()
+	h.Write([]byte(salt))
+	h.Write([]byte("$"))
+	h.Write([]byte(password))
+	return "$5$" + salt + "$" + hex.EncodeToString(h.Sum(nil))
+}
+
+// VerifyPassword checks password against a stored hash. Locked ("!", "*")
+// and empty hashes never verify.
+func VerifyPassword(stored, password string) bool {
+	if stored == "" || strings.HasPrefix(stored, "!") || stored == "*" {
+		return false
+	}
+	parts := strings.Split(stored, "$")
+	if len(parts) != 4 || parts[1] != "5" {
+		return false
+	}
+	computed := HashPassword(password, parts[2])
+	return subtle.ConstantTimeCompare([]byte(stored), []byte(computed)) == 1
+}

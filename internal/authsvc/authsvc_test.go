@@ -1,0 +1,192 @@
+package authsvc
+
+import (
+	"testing"
+	"time"
+
+	"protego/internal/accountdb"
+	"protego/internal/caps"
+	"protego/internal/vfs"
+)
+
+// fakeTask implements lsm.Task plus Prompter for isolated service tests.
+type fakeTask struct {
+	uid    int
+	blobs  map[string]any
+	answer string
+	asked  []string
+}
+
+func newFakeTask(uid int) *fakeTask {
+	return &fakeTask{uid: uid, blobs: map[string]any{}}
+}
+
+func (f *fakeTask) PID() int                  { return 1 }
+func (f *fakeTask) UID() int                  { return f.uid }
+func (f *fakeTask) EUID() int                 { return f.uid }
+func (f *fakeTask) GID() int                  { return 100 }
+func (f *fakeTask) EGID() int                 { return 100 }
+func (f *fakeTask) Groups() []int             { return nil }
+func (f *fakeTask) Capable(caps.Cap) bool     { return false }
+func (f *fakeTask) BinaryPath() string        { return "/bin/test" }
+func (f *fakeTask) SecurityBlob(k string) any { return f.blobs[k] }
+func (f *fakeTask) SetSecurityBlob(k string, v any) {
+	if v == nil {
+		delete(f.blobs, k)
+		return
+	}
+	f.blobs[k] = v
+}
+func (f *fakeTask) Ask(prompt string) string {
+	f.asked = append(f.asked, prompt)
+	return f.answer
+}
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	fs := vfs.New()
+	if _, err := fs.Mkdir(vfs.RootCred, "/etc", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	passwd := "alice:x:1000:100:A:/home/alice:/bin/sh\n"
+	shadow := "alice:" + accountdb.HashPassword("alicepw", "s") + ":0:0:99999:7:::\n"
+	group := "users:x:100:alice\nops:" + accountdb.HashPassword("opspw", "g") + ":20:alice\nfree:x:30:\n"
+	for path, content := range map[string]string{
+		accountdb.PasswdFile: passwd,
+		accountdb.ShadowFile: shadow,
+		accountdb.GroupFile:  group,
+	} {
+		if err := fs.WriteFile(vfs.RootCred, path, []byte(content), 0o600, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(accountdb.NewDB(fs))
+}
+
+func TestVerifyPassword(t *testing.T) {
+	s := testService(t)
+	if !s.VerifyPassword("alice", "alicepw") {
+		t.Fatal("correct password rejected")
+	}
+	if s.VerifyPassword("alice", "wrong") {
+		t.Fatal("wrong password accepted")
+	}
+	if s.VerifyPassword("mallory", "x") {
+		t.Fatal("unknown user accepted")
+	}
+	if s.Attempts != 3 {
+		t.Fatalf("attempts = %d", s.Attempts)
+	}
+}
+
+func TestAuthenticateUserStampsOwnIdentity(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1000)
+	task.answer = "alicepw"
+	if err := s.AuthenticateUser(task, "alice", true); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RecentlyAuthenticated(task) {
+		t.Fatal("stamp missing")
+	}
+	if len(task.asked) != 1 {
+		t.Fatalf("prompts: %v", task.asked)
+	}
+}
+
+func TestAuthenticateOtherIdentityDoesNotStamp(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1001)
+	task.answer = "alicepw"
+	if err := s.AuthenticateUser(task, "alice", false); err != nil {
+		t.Fatal(err)
+	}
+	if s.RecentlyAuthenticated(task) {
+		t.Fatal("target-auth must not stamp the caller's recency")
+	}
+}
+
+func TestAuthenticateUserFailure(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1000)
+	task.answer = "nope"
+	if err := s.AuthenticateUser(task, "alice", true); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+	if s.RecentlyAuthenticated(task) {
+		t.Fatal("failure stamped recency")
+	}
+}
+
+func TestRecencyWindow(t *testing.T) {
+	s := testService(t)
+	now := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return now })
+	task := newFakeTask(1000)
+	s.Stamp(task)
+	if !s.RecentlyAuthenticated(task) {
+		t.Fatal("fresh stamp rejected")
+	}
+	now = now.Add(4 * time.Minute)
+	if !s.RecentlyAuthenticated(task) {
+		t.Fatal("within window rejected")
+	}
+	now = now.Add(2 * time.Minute) // total 6m > 5m default
+	if s.RecentlyAuthenticated(task) {
+		t.Fatal("expired stamp accepted")
+	}
+	// Widening the window revives it.
+	s.SetWindow(10 * time.Minute)
+	if !s.RecentlyAuthenticated(task) {
+		t.Fatal("wider window rejected")
+	}
+}
+
+func TestEnsureRecentPromptsOnlyWhenStale(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1000)
+	task.answer = "alicepw"
+	if err := s.EnsureRecent(task, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if len(task.asked) != 1 {
+		t.Fatalf("prompts: %d", len(task.asked))
+	}
+	// Second call within the window: no prompt.
+	if err := s.EnsureRecent(task, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if len(task.asked) != 1 {
+		t.Fatalf("re-prompted: %v", task.asked)
+	}
+}
+
+func TestAuthenticateGroup(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1000)
+	task.answer = "opspw"
+	if err := s.AuthenticateGroup(task, "ops"); err != nil {
+		t.Fatal(err)
+	}
+	task.answer = "bad"
+	if err := s.AuthenticateGroup(task, "ops"); err == nil {
+		t.Fatal("wrong group password accepted")
+	}
+	// A group without a password cannot be joined this way.
+	task.answer = ""
+	if err := s.AuthenticateGroup(task, "free"); err == nil {
+		t.Fatal("password-less group authenticated")
+	}
+	if err := s.AuthenticateGroup(task, "nosuch"); err == nil {
+		t.Fatal("unknown group authenticated")
+	}
+}
+
+func TestCorruptBlobIsNotRecent(t *testing.T) {
+	s := testService(t)
+	task := newFakeTask(1000)
+	task.SetSecurityBlob(BlobLastAuth, "not a time")
+	if s.RecentlyAuthenticated(task) {
+		t.Fatal("corrupt blob accepted")
+	}
+}

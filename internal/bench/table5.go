@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"protego/internal/kernel"
+)
+
+// Row is one Table 5 row: the measurement under both kernels, with the
+// ±95% confidence half-widths the paper's +/- columns report.
+type Row struct {
+	Name      string
+	Unit      string
+	Linux     float64
+	LinuxCI   float64
+	Protego   float64
+	ProtegoCI float64
+	// HigherIsBetter flips the overhead sign convention (bandwidth,
+	// throughput rows).
+	HigherIsBetter bool
+	// PaperOverheadPct is the published % OH column for comparison.
+	PaperOverheadPct float64
+}
+
+// OverheadPct computes Protego's overhead relative to the baseline,
+// positive when Protego is worse.
+func (r *Row) OverheadPct() float64 {
+	if r.Linux == 0 {
+		return 0
+	}
+	oh := (r.Protego - r.Linux) / r.Linux * 100
+	if r.HigherIsBetter {
+		oh = -oh
+	}
+	return oh
+}
+
+// paperOverheads maps microbenchmark names to the paper's % OH column.
+var paperOverheads = map[string]float64{
+	"syscall": 0.00, "read": 0.00, "write": 0.00, "stat": -2.94,
+	"open/close": 0.00, "mount/umnt": 1.13, "setuid": 1.22, "setgid": 1.22,
+	"ioctl": 0.72, "bind": 2.25, "sig install": 0.00, "sig overhead": 0.00,
+	"prot. fault": 0.00, "fork+exit": -0.63, "fork+execve": 3.43,
+	"fork+/bin/sh": 3.90, "0KB create": -2.51, "10KB create": -1.82,
+	"AF_UNIX": 4.19, "Pipe": 2.23, "TCP connect": 3.05,
+	"Local TCP lat": 6.32, "Local UDP lat": 7.19,
+	"Rem. UDP lat": 6.38, "Rem. TCP lat": 7.38, "BW 64KB xfer": 2.74,
+}
+
+// Table5Config scales the workloads (smaller for tests, larger for the
+// published run).
+type Table5Config struct {
+	PostalMessages int
+	CompileFiles   int
+	WebRequests    int
+	WebConcurrency []int
+	SkipMacro      bool
+}
+
+// DefaultTable5Config mirrors the paper's workload mix at
+// simulation-appropriate scale.
+func DefaultTable5Config() Table5Config {
+	return Table5Config{
+		PostalMessages: 300,
+		CompileFiles:   400,
+		WebRequests:    2000,
+		WebConcurrency: []int{25, 50, 100, 200},
+	}
+}
+
+// RunTable5 measures every row under both kernels (microbenchmark
+// repetitions interleaved for fairness); micro rows report mean ± 95% CI.
+func RunTable5(cfg Table5Config) ([]Row, error) {
+	linuxMicro, protegoMicro, err := RunMicroPairSamples()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, test := range MicroSuite() {
+		l := linuxMicro[test.Name]
+		p := protegoMicro[test.Name]
+		rows = append(rows, Row{
+			Name:             test.Name,
+			Unit:             "us",
+			Linux:            l.Mean,
+			LinuxCI:          l.CI95,
+			Protego:          p.Mean,
+			ProtegoCI:        p.CI95,
+			PaperOverheadPct: paperOverheads[test.Name],
+		})
+	}
+	if cfg.SkipMacro {
+		return rows, nil
+	}
+
+	// Macro workloads repeat with modes interleaved (like the micro
+	// suite): one warmup run per mode is discarded, then macroReps timed
+	// runs; means ± 95% CI are reported.
+	postalRow, err := macroPair("Postal msgs/min", "msgs/min", true, -0.04, func(mode kernel.Mode) (float64, error) {
+		res, err := RunPostal(mode, cfg.PostalMessages)
+		if err != nil {
+			return 0, err
+		}
+		return res.MsgsPerMin, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, postalRow)
+
+	compileRow, err := macroPair("Kernel compile", "ms", false, 1.44, func(mode kernel.Mode) (float64, error) {
+		res, err := RunCompile(mode, cfg.CompileFiles)
+		if err != nil {
+			return 0, err
+		}
+		return float64(res.Elapsed.Microseconds()) / 1000, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, compileRow)
+
+	msPaper := map[int]float64{25: 3.57, 50: 3.85, 100: 4.00, 200: 2.65}
+	kbPaper := map[int]float64{25: 4.05, 50: 3.95, 100: 3.96, 200: 2.64}
+	for _, conc := range cfg.WebConcurrency {
+		conc := conc
+		msRow, err := macroPair(fmt.Sprintf("Web ms/req %d conc", conc), "ms", false, msPaper[conc],
+			func(mode kernel.Mode) (float64, error) {
+				res, err := RunWeb(mode, conc, cfg.WebRequests)
+				if err != nil {
+					return 0, err
+				}
+				return res.MsPerRequest, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, msRow)
+		kbRow, err := macroPair(fmt.Sprintf("Web KB/s %d conc", conc), "KB/s", true, kbPaper[conc],
+			func(mode kernel.Mode) (float64, error) {
+				res, err := RunWeb(mode, conc, cfg.WebRequests)
+				if err != nil {
+					return 0, err
+				}
+				return res.TransferKBps, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, kbRow)
+	}
+	return rows, nil
+}
+
+// macroReps is the number of timed macro-workload repetitions per mode.
+const macroReps = 5
+
+// macroPair runs a macro workload on both kernels with repetitions
+// interleaved and a warmup pass discarded.
+func macroPair(name, unit string, higherBetter bool, paperPct float64,
+	run func(mode kernel.Mode) (float64, error)) (Row, error) {
+	if _, err := run(kernel.ModeLinux); err != nil {
+		return Row{}, fmt.Errorf("%s warmup (linux): %w", name, err)
+	}
+	if _, err := run(kernel.ModeProtego); err != nil {
+		return Row{}, fmt.Errorf("%s warmup (protego): %w", name, err)
+	}
+	var lVals, pVals []float64
+	for rep := 0; rep < macroReps; rep++ {
+		lv, err := run(kernel.ModeLinux)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s (linux): %w", name, err)
+		}
+		pv, err := run(kernel.ModeProtego)
+		if err != nil {
+			return Row{}, fmt.Errorf("%s (protego): %w", name, err)
+		}
+		lVals = append(lVals, lv)
+		pVals = append(pVals, pv)
+	}
+	l := Summarize(lVals)
+	p := Summarize(pVals)
+	return Row{
+		Name: name, Unit: unit,
+		Linux: l.Mean, LinuxCI: l.CI95,
+		Protego: p.Mean, ProtegoCI: p.CI95,
+		HigherIsBetter:   higherBetter,
+		PaperOverheadPct: paperPct,
+	}, nil
+}
+
+// FormatTable5 renders the rows in the paper's layout (Linux, +/-,
+// Protego, +/-, % OH).
+func FormatTable5(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: Protego overheads compared to Linux with AppArmor\n")
+	fmt.Fprintf(&b, "%-22s %12s %8s %12s %8s %9s %9s  %s\n",
+		"Test", "Linux", "+/-", "Protego", "+/-", "% OH", "Paper%", "Unit")
+	for i := range rows {
+		r := &rows[i]
+		// Rows whose confidence intervals overlap are statistically
+		// indistinguishable — the paper's criterion for "noise".
+		noise := ""
+		l := Sample{Mean: r.Linux, CI95: r.LinuxCI}
+		p := Sample{Mean: r.Protego, CI95: r.ProtegoCI}
+		if l.Overlaps(p) {
+			noise = " ~"
+		}
+		fmt.Fprintf(&b, "%-22s %12.3f %8.3f %12.3f %8.3f %+9.2f %+9.2f  %s%s\n",
+			r.Name, r.Linux, r.LinuxCI, r.Protego, r.ProtegoCI,
+			r.OverheadPct(), r.PaperOverheadPct, r.Unit, noise)
+	}
+	b.WriteString("\n'~' marks rows whose 95% CIs overlap (differences within noise).\n")
+	b.WriteString("Paper range: 0-7.4% overhead; kernel compile 1.44%.\n")
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CatalogEntry is one row of the paper's Table 4: a system abstraction
+// whose kernel policy was mismatched to the system policy, forcing a
+// setuid-to-root point solution — and Protego's approach to unifying them.
+// Every row is backed by executable checks in this repository; Validation
+// names the test functions demonstrating the row's behaviour.
+type CatalogEntry struct {
+	Interface       string
+	UsedBy          []string
+	KernelPolicy    string
+	SystemPolicy    string
+	SecurityConcern string
+	Approach        string
+	Validation      []string
+}
+
+// Catalog is Table 4.
+var Catalog = []CatalogEntry{
+	{
+		Interface:       "socket",
+		UsedBy:          []string{"ping", "ping6", "arping", "mtr", "traceroute6", "iputils"},
+		KernelPolicy:    "Creating raw or packet sockets requires CAP_NET_RAW.",
+		SystemPolicy:    "Users may send and receive safe, non TCP/UDP packets, such as ICMP.",
+		SecurityConcern: "Raw sockets allow sending both benign packets (e.g., ICMP) and packets that appear to come from sockets owned by another process.",
+		Approach:        "Allow any user to create a raw or packet socket, but outgoing packets are subject to firewall rules that filter unsafe packets.",
+		Validation:      []string{"world.TestPing", "world.TestRawSocketDirectProtego", "core.TestRawSocketFiltering"},
+	},
+	{
+		Interface:       "ioctl (ppp)",
+		UsedBy:          []string{"pppd"},
+		KernelPolicy:    "Only the administrator may configure modem hardware or modify routing tables.",
+		SystemPolicy:    "A user may configure a modem (if not in use) and add routes that don't conflict with existing routes.",
+		SecurityConcern: "Protect the integrity of routes for unrelated applications.",
+		Approach:        "Add LSM hooks that verify routes do not conflict with old rules when requested by non-root users.",
+		Validation:      []string{"world.TestPppdSafeSession", "world.TestPppdConflictingRouteDenied", "world.TestPppdModemInUseDenied"},
+	},
+	{
+		Interface:       "ioctl (dmcrypt)",
+		UsedBy:          []string{"dmcrypt-get-device"},
+		KernelPolicy:    "Require CAP_SYS_ADMIN to read dmcrypt metadata.",
+		SystemPolicy:    "Any user may read the public portion of dmcrypt metadata (e.g., device set).",
+		SecurityConcern: "The same ioctl discloses both the physical devices and the encryption keys.",
+		Approach:        "Abandon this ioctl for a /sys file that only discloses the physical devices.",
+		Validation:      []string{"world.TestDmcryptGetDevice", "world.TestDmcryptIoctlStillPrivilegedOnProtego"},
+	},
+	{
+		Interface:       "bind",
+		UsedBy:          []string{"procmail", "sensible-mda", "exim4"},
+		KernelPolicy:    "Require CAP_NET_BIND_SERVICE to bind to ports < 1024.",
+		SystemPolicy:    "Mail server should generally run without root privilege.",
+		SecurityConcern: "Prevent untrustworthy applications from running on well-known ports.",
+		Approach:        "System policies allocating low-numbered ports to specific (binary, userid) pairs.",
+		Validation:      []string{"world.TestEximBindsAllocatedPort", "world.TestBindAllocationExclusive"},
+	},
+	{
+		Interface:       "mount, umount",
+		UsedBy:          []string{"fusermount", "mount", "umount"},
+		KernelPolicy:    "Mounting or unmounting a file system requires CAP_SYS_ADMIN.",
+		SystemPolicy:    "Any user may mount or unmount entries in /etc/fstab with the user(s) option.",
+		SecurityConcern: "Protect the integrity of trusted directories (e.g., /etc, /lib).",
+		Approach:        "Add LSM hooks that permit anyone to mount a white-listed file system with safe locations and options.",
+		Validation:      []string{"world.TestUserMountWhitelisted", "world.TestUserMountNonWhitelistedDenied", "world.TestUmountPolicy"},
+	},
+	{
+		Interface:       "setuid, setgid",
+		UsedBy:          []string{"polkit-agent-helper-1", "sudo", "pkexec", "dbus-daemon-launch-helper", "su", "sudoedit", "newgrp"},
+		KernelPolicy:    "Only allowed with CAP_SETUID.",
+		SystemPolicy:    "Permit delegation of commands as configured by administrator, in some cases requiring recent reauthentication.",
+		SecurityConcern: "Require authentication and authorization to execute as another user.",
+		Approach:        "Add LSM hooks that check delegation rules encoded in files like /etc/sudoers, and a kernel abstraction for recency.",
+		Validation:      []string{"world.TestSudoToRootWithPassword", "world.TestSudoNoPasswdRestrictedCommand", "world.TestSuWithTargetPassword", "world.TestNewgrpPasswordProtectedGroup"},
+	},
+	{
+		Interface:       "credential databases",
+		UsedBy:          []string{"chfn", "chsh", "gpasswd", "lppasswd", "passwd"},
+		KernelPolicy:    "Only root can modify these files (or read /etc/shadow).",
+		SystemPolicy:    "A user may change her own entry to update password, shell, etc.",
+		SecurityConcern: "Prevent users from accessing or modifying each other's accounts.",
+		Approach:        "Fragment the database to per-user or per-group configuration files, matching DAC granularity.",
+		Validation:      []string{"world.TestPasswdChangeAndLogin", "world.TestChshOwnShell", "world.TestProtegoFragmentIsolation"},
+	},
+	{
+		Interface:       "host private ssh key",
+		UsedBy:          []string{"ssh-keysign"},
+		KernelPolicy:    "Only root may read the key (FS permissions).",
+		SystemPolicy:    "Allow non-root users to sign their public key with the host key (disabled by default).",
+		SecurityConcern: "A user should be able to acquire a host key signature without copying the host key.",
+		Approach:        "Restrict file access to specific binaries instead of, or in addition to, user IDs.",
+		Validation:      []string{"world.TestSSHKeysign", "world.TestHostKeyUnreadableByOtherBinaries"},
+	},
+	{
+		Interface:       "video driver control state",
+		UsedBy:          []string{"X"},
+		KernelPolicy:    "Root must set the video card control state, required by older drivers.",
+		SystemPolicy:    "Any user may start an X server.",
+		SecurityConcern: "An untrustworthy application could misconfigure another application's video state.",
+		Approach:        "Linux now context switches video devices in the kernel, called KMS.",
+		Validation:      []string{"world.TestXserver"},
+	},
+	{
+		Interface:       "/dev/pts* terminal slaves",
+		UsedBy:          []string{"pt_chown"},
+		KernelPolicy:    "Root must allocate pts slaves on pre-2.1 kernels.",
+		SystemPolicy:    "Users may create terminal sessions.",
+		SecurityConcern: "This utility has been obviated for 17 years, but is still shipped.",
+		Approach:        "Ignore.",
+		Validation:      nil,
+	},
+}
+
+// FormatCatalog renders Table 4 as text.
+func FormatCatalog() string {
+	var b strings.Builder
+	b.WriteString("Table 4: System abstractions used by commonly installed setuid utilities\n\n")
+	for i := range Catalog {
+		e := &Catalog[i]
+		fmt.Fprintf(&b, "Interface:  %s\n", e.Interface)
+		fmt.Fprintf(&b, "  Used by:          %s\n", strings.Join(e.UsedBy, ", "))
+		fmt.Fprintf(&b, "  Kernel policy:    %s\n", e.KernelPolicy)
+		fmt.Fprintf(&b, "  System policy:    %s\n", e.SystemPolicy)
+		fmt.Fprintf(&b, "  Security concern: %s\n", e.SecurityConcern)
+		fmt.Fprintf(&b, "  Protego approach: %s\n", e.Approach)
+		if len(e.Validation) > 0 {
+			fmt.Fprintf(&b, "  Validated by:     %s\n", strings.Join(e.Validation, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"protego/internal/core"
+	"protego/internal/errno"
+	"protego/internal/kernel"
+	"protego/internal/netstack"
+	"protego/internal/policy"
+	"protego/internal/userspace"
+	"protego/internal/vfs"
+	"protego/internal/world"
+)
+
+func TestSetBindTableResolvesUsers(t *testing.T) {
+	m := protegoMachine(t)
+	entries := []policy.BindEntry{
+		{Port: 587, Proto: "tcp", Binary: "/usr/sbin/exim4", User: "Debian-exim"},
+		{Port: 53, Proto: "udp", Binary: "/usr/sbin/named", User: "root"},
+	}
+	resolve := func(user string) (int, bool) {
+		u, err := m.DB.LookupUser(user)
+		if err != nil {
+			return 0, false
+		}
+		return u.UID, true
+	}
+	if err := m.Protego.SetBindTable(entries, resolve); err != nil {
+		t.Fatal(err)
+	}
+	allocs := m.Protego.BindAllocations()
+	if len(allocs) != 2 {
+		t.Fatalf("allocations: %v", allocs)
+	}
+	// Unknown users fail the whole update.
+	bad := []policy.BindEntry{{Port: 25, Proto: "tcp", Binary: "/b", User: "ghost"}}
+	if err := m.Protego.SetBindTable(bad, resolve); err == nil {
+		t.Fatal("ghost user accepted")
+	}
+}
+
+func TestAddBindAllocationDirect(t *testing.T) {
+	m := protegoMachine(t)
+	m.Protego.AddBindAllocation(netstack.IPPROTO_UDP, 514, "/usr/sbin/syslogd", 0)
+	found := false
+	for _, line := range m.Protego.BindAllocations() {
+		if strings.Contains(line, "514 udp /usr/sbin/syslogd 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("allocation missing: %v", m.Protego.BindAllocations())
+	}
+}
+
+func TestProcBindRead(t *testing.T) {
+	m := protegoMachine(t)
+	data, err := m.K.FS.ReadFile(vfs.RootCred, core.ProcBind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "25 tcp /usr/sbin/exim4 101") {
+		t.Fatalf("bind proc read: %q", data)
+	}
+}
+
+func TestSetgidSudoersGroupDelegation(t *testing.T) {
+	// A sudoers rule can delegate a *group* target: "%<group>" in the
+	// runas list, honored by SetgidCheck.
+	m := protegoMachine(t)
+	sudoers, err := policy.ParseSudoers("bob ALL = (%www-data) NOPASSWD: ALL\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Protego.SetSudoers(sudoers)
+	bob := session(t, m, "bob")
+	if err := m.K.Setgid(bob, world.GIDWWW); err != nil {
+		t.Fatalf("delegated setgid: %v", err)
+	}
+	if bob.EGID() != world.GIDWWW {
+		t.Fatalf("egid = %d", bob.EGID())
+	}
+	// charlie has no such rule and ops requires a password he won't give.
+	charlie := session(t, m, "charlie")
+	if err := m.K.Setgid(charlie, world.GIDWWW); err != errno.EPERM {
+		t.Fatalf("undelegated setgid: %v", err)
+	}
+}
+
+func TestSetgidUnknownGroupNoOpinion(t *testing.T) {
+	m := protegoMachine(t)
+	bob := session(t, m, "bob")
+	if err := m.K.Setgid(bob, 9999); err != errno.EPERM {
+		t.Fatalf("setgid to unknown gid: %v", err)
+	}
+}
+
+func TestRouteDeleteOwnRouteGranted(t *testing.T) {
+	m := protegoMachine(t)
+	alice := session(t, m, "alice")
+	// alice installs a route via the ppp policy path...
+	code, _, errOut, _ := m.Run(alice, []string{userspace.BinPppd, "ppp0", "--route=192.168.42.0/24"}, nil)
+	if code != 0 {
+		t.Fatalf("pppd: %s", errOut)
+	}
+	// ...and may delete her own route.
+	if err := m.K.DelRoute(alice, netstack.IPv4(192, 168, 42, 0), 24); err != nil {
+		t.Fatalf("delete own route: %v", err)
+	}
+	// But not routes she does not own.
+	root := session(t, m, "root")
+	if err := m.K.AddRoute(root, netstack.Route{Dest: netstack.IPv4(172, 16, 0, 0), PrefixLen: 16, Iface: "eth0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.K.DelRoute(alice, netstack.IPv4(172, 16, 0, 0), 16); err != errno.EPERM {
+		t.Fatalf("delete root's route: %v", err)
+	}
+	// Deleting something nonexistent is no opinion -> EPERM for users.
+	if err := m.K.DelRoute(alice, netstack.IPv4(1, 2, 3, 4), 32); err != errno.EPERM {
+		t.Fatalf("delete missing route: %v", err)
+	}
+}
+
+func TestShadowAuthToggle(t *testing.T) {
+	m := protegoMachine(t)
+	m.Protego.SetRequireShadowAuth(false)
+	alice := session(t, m, "alice")
+	// With the ablation toggle off, the owner reads her fragment with
+	// plain DAC and no prompt.
+	if _, err := m.K.ReadFile(alice, "/etc/shadows/alice"); err != nil {
+		t.Fatalf("shadow read with auth disabled: %v", err)
+	}
+	// Other users' fragments remain DAC-protected.
+	if _, err := m.K.ReadFile(alice, "/etc/shadows/bob"); err == nil {
+		t.Fatal("cross-user shadow read")
+	}
+}
+
+func TestSuFallbackToggle(t *testing.T) {
+	m := protegoMachine(t)
+	m.Protego.SetAllowSuFallback(false)
+	bob := session(t, m, "bob")
+	bob.Asker = world.AnswerWith(world.AlicePassword)
+	// With su fallback off, knowing alice's password no longer
+	// authorizes bob -> alice (no delegation rule covers it).
+	if err := m.K.Setuid(bob, world.UIDAlice); err != errno.EPERM {
+		t.Fatalf("su fallback disabled: %v", err)
+	}
+}
+
+func TestModuleIdentity(t *testing.T) {
+	m := protegoMachine(t)
+	if m.Protego.Name() != "protego" {
+		t.Fatalf("name: %q", m.Protego.Name())
+	}
+	if m.Protego.Auth() != m.Auth {
+		t.Fatal("auth service mismatch")
+	}
+}
+
+func TestVideoIoctlGranted(t *testing.T) {
+	m := protegoMachine(t)
+	alice := session(t, m, "alice")
+	if err := m.K.Ioctl(alice, userspace.VideoDevice, kernel.VIDIOCSMODE, "640x480"); err != nil {
+		t.Fatalf("KMS mode set: %v", err)
+	}
+}
+
+func TestPppDetachGranted(t *testing.T) {
+	m := protegoMachine(t)
+	alice := session(t, m, "alice")
+	if err := m.K.Ioctl(alice, userspace.PppDevice, kernel.PPPIOCATTACH, "ppp0"); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := m.K.Ioctl(alice, userspace.PppDevice, kernel.PPPIOCDETACH, "ppp0"); err != nil {
+		t.Fatalf("detach: %v", err)
+	}
+	// After detach, bob can attach.
+	bob := session(t, m, "bob")
+	if err := m.K.Ioctl(bob, userspace.PppDevice, kernel.PPPIOCATTACH, "ppp0"); err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+}
+
+func TestUnknownIoctlNoOpinion(t *testing.T) {
+	m := protegoMachine(t)
+	alice := session(t, m, "alice")
+	// An unknown command on a known device: no grant, handler ENOTTY.
+	if err := m.K.Ioctl(alice, userspace.PppDevice, 0xDEAD, nil); err != errno.ENOTTY {
+		t.Fatalf("unknown ioctl: %v", err)
+	}
+}

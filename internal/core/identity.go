@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+)
+
+// identityCache memoizes uid→username and username→groups lookups so that
+// hot-path policy checks (setuid, bind) do not reparse /etc/passwd on every
+// system call. The monitoring daemon invalidates it when the account
+// databases change; it also refreshes lazily on miss.
+type identityCache struct {
+	mu      sync.RWMutex
+	uidName map[int]string
+	nameUID map[string]int
+	groups  map[string][]string // username -> group names
+	valid   bool
+}
+
+// InvalidateIdentity drops the cached uid/name/groups mappings; the next
+// lookup reloads from the databases.
+func (m *Module) InvalidateIdentity() {
+	m.identity.mu.Lock()
+	m.identity.valid = false
+	m.identity.mu.Unlock()
+}
+
+func (m *Module) refreshIdentityLocked() {
+	c := &m.identity
+	c.uidName = make(map[int]string)
+	c.nameUID = make(map[string]int)
+	c.groups = make(map[string][]string)
+	users, err := m.db.Users()
+	if err != nil {
+		c.valid = true // negative cache until invalidated
+		return
+	}
+	for i := range users {
+		c.uidName[users[i].UID] = users[i].Name
+		c.nameUID[users[i].Name] = users[i].UID
+	}
+	for i := range users {
+		names, err := m.db.GroupNamesOf(users[i].Name)
+		if err == nil {
+			c.groups[users[i].Name] = names
+		}
+	}
+	c.valid = true
+}
+
+// userName resolves a uid to a username ("" if unknown).
+func (m *Module) userName(uid int) string {
+	c := &m.identity
+	c.mu.RLock()
+	if c.valid {
+		name := c.uidName[uid]
+		c.mu.RUnlock()
+		return name
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid {
+		m.refreshIdentityLocked()
+	}
+	return c.uidName[uid]
+}
+
+// ResolveGroups implements lsm.GroupResolver: the supplementary group ids
+// of a uid, consulted by the kernel when it applies a granted credential
+// transition.
+func (m *Module) ResolveGroups(uid int) ([]int, bool) {
+	name := m.userName(uid)
+	if name == "" {
+		return nil, false
+	}
+	groups, err := m.db.GroupIDsOf(name)
+	if err != nil {
+		return nil, false
+	}
+	return groups, true
+}
+
+// userGroups returns the group names of a username.
+func (m *Module) userGroups(name string) []string {
+	c := &m.identity
+	c.mu.RLock()
+	if c.valid {
+		gs := c.groups[name]
+		c.mu.RUnlock()
+		return gs
+	}
+	c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid {
+		m.refreshIdentityLocked()
+	}
+	return c.groups[name]
+}

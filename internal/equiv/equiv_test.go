@@ -1,0 +1,49 @@
+package equiv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable7Equivalence runs the full scenario corpus: every utility must
+// behave identically on the baseline and on Protego ("Protego provides
+// users with the same functionality as Linux").
+func TestTable7Equivalence(t *testing.T) {
+	reports, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Passed != r.Total {
+			for _, mm := range r.Mismatches {
+				t.Errorf("%s/%s: %s differs:\n  linux:   %q\n  protego: %q",
+					r.Utility, mm.Scenario, mm.Field, mm.Linux, mm.Protego)
+			}
+		}
+	}
+}
+
+func TestUtilitiesListed(t *testing.T) {
+	for _, u := range Utilities() {
+		if len(Scenarios[u]) == 0 {
+			t.Errorf("no scenarios for %s", u)
+		}
+	}
+}
+
+func TestFormatTable7(t *testing.T) {
+	reports, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable7(reports)
+	if !strings.Contains(out, "sudo") || !strings.Contains(out, "Equiv. %") {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestUnknownUtility(t *testing.T) {
+	if _, err := RunUtility("nosuch"); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,356 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"protego/internal/errno"
+	"protego/internal/lsm"
+	"protego/internal/netfilter"
+	"protego/internal/netstack"
+	"protego/internal/vfs"
+)
+
+// Mode selects which system the kernel models.
+type Mode int
+
+// Kernel modes.
+const (
+	// ModeLinux is the baseline: the setuid bit elevates at exec, the
+	// 8 studied syscalls hard-require capabilities, policy lives in
+	// trusted userspace binaries.
+	ModeLinux Mode = iota
+	// ModeProtego is the paper's system: setuid bits are cleared from
+	// the studied binaries and the Protego LSM enforces the equivalent
+	// policies in the kernel.
+	ModeProtego
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeProtego {
+		return "protego"
+	}
+	return "linux"
+}
+
+// Program is the entry point of a simulated binary. It runs synchronously
+// in the context of the task (exec does not return; the program's return
+// value is the process exit code).
+type Program func(k *Kernel, t *Task) int
+
+// IoctlHandler implements a device's ioctl surface. granted reports whether
+// an LSM granted the (otherwise privileged) operation; base capability
+// policy is the handler's responsibility.
+type IoctlHandler func(t *Task, cmd uint32, arg any, granted bool) error
+
+// Kernel ties together the substrates: VFS, network stack, netfilter, the
+// LSM chain, the task table, and the binary registry.
+type Kernel struct {
+	Mode   Mode
+	FS     *vfs.FS
+	Net    *netstack.Stack
+	Filter *netfilter.Table
+	LSM    *lsm.Chain
+
+	mu       sync.Mutex
+	tasks    map[int]*Task
+	nextPID  int
+	binaries map[string]Program
+	devices  map[string]IoctlHandler
+	unprivNS bool
+
+	auditMu sync.Mutex
+	audit   []string
+}
+
+// New creates a kernel in the given mode with an empty file system and a
+// network stack at hostIP. The netfilter table is installed as the stack's
+// output filter.
+func New(mode Mode, hostIP netstack.IP) *Kernel {
+	k := &Kernel{
+		Mode:     mode,
+		FS:       vfs.New(),
+		Net:      netstack.NewStack(hostIP),
+		Filter:   netfilter.NewTable(),
+		LSM:      lsm.NewChain(),
+		tasks:    make(map[int]*Task),
+		binaries: make(map[string]Program),
+		devices:  make(map[string]IoctlHandler),
+	}
+	k.Net.SetFilter(k.Filter)
+	return k
+}
+
+// Auditf records a security-relevant event, visible via AuditLog.
+func (k *Kernel) Auditf(format string, args ...any) {
+	k.auditMu.Lock()
+	k.audit = append(k.audit, fmt.Sprintf(format, args...))
+	k.auditMu.Unlock()
+}
+
+// AuditLog returns a snapshot of recorded security events.
+func (k *Kernel) AuditLog() []string {
+	k.auditMu.Lock()
+	defer k.auditMu.Unlock()
+	return append([]string(nil), k.audit...)
+}
+
+// RegisterBinary installs a program at path in the binary registry. The
+// corresponding inode must be created separately (by the world builder) —
+// the registry is the simulation's stand-in for the executable's text.
+func (k *Kernel) RegisterBinary(path string, prog Program) {
+	k.mu.Lock()
+	k.binaries[vfs.CleanPath(path, "/")] = prog
+	k.mu.Unlock()
+}
+
+// LookupBinary returns the program registered at path, or nil.
+func (k *Kernel) LookupBinary(path string) Program {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.binaries[vfs.CleanPath(path, "/")]
+}
+
+// RegisterDevice installs an ioctl handler for the device at path.
+func (k *Kernel) RegisterDevice(path string, h IoctlHandler) {
+	k.mu.Lock()
+	k.devices[vfs.CleanPath(path, "/")] = h
+	k.mu.Unlock()
+}
+
+// InitTask creates the first task (pid 1) running as root with the given
+// binary name, cwd /.
+func (k *Kernel) InitTask() *Task {
+	t := &Task{
+		k:           k,
+		creds:       RootCreds(),
+		cwd:         "/",
+		binary:      "/sbin/init",
+		argv:        []string{"/sbin/init"},
+		env:         map[string]string{"PATH": "/bin:/sbin:/usr/bin:/usr/sbin"},
+		blobs:       make(map[string]any),
+		fds:         make(map[int]*FileDesc),
+		sigHandlers: make(map[int]func(int)),
+		Stdout:      &bytes.Buffer{},
+		Stderr:      &bytes.Buffer{},
+		Stdin:       &bytes.Buffer{},
+	}
+	k.mu.Lock()
+	k.nextPID++
+	t.pid = k.nextPID
+	k.tasks[t.pid] = t
+	k.mu.Unlock()
+	return t
+}
+
+// Fork clones the calling task: credentials, cwd, environment, security
+// blobs, and terminal plumbing are inherited; the file descriptor table is
+// copied (descriptors reference the same open files).
+func (k *Kernel) Fork(parent *Task) *Task {
+	parent.mu.Lock()
+	child := &Task{
+		k:           k,
+		ppid:        parent.pid,
+		creds:       parent.creds.Clone(),
+		cwd:         parent.cwd,
+		binary:      parent.binary,
+		argv:        append([]string(nil), parent.argv...),
+		env:         copyEnv(parent.env),
+		blobs:       copyBlobs(parent.blobs),
+		fds:         make(map[int]*FileDesc, len(parent.fds)),
+		nextFD:      parent.nextFD,
+		sigHandlers: make(map[int]func(int)),
+		Stdout:      parent.Stdout,
+		Stderr:      parent.Stderr,
+		Stdin:       parent.Stdin,
+		Asker:       parent.Asker,
+	}
+	for fd, f := range parent.fds {
+		if f.CloseOnExec {
+			// descriptors survive fork; CLOEXEC only matters at exec
+			child.fds[fd] = f
+			continue
+		}
+		child.fds[fd] = f
+	}
+	parent.mu.Unlock()
+
+	k.mu.Lock()
+	k.nextPID++
+	child.pid = k.nextPID
+	k.tasks[child.pid] = child
+	k.mu.Unlock()
+	return child
+}
+
+func copyEnv(env map[string]string) map[string]string {
+	out := make(map[string]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func copyBlobs(blobs map[string]any) map[string]any {
+	out := make(map[string]any, len(blobs))
+	for k, v := range blobs {
+		out[k] = v
+	}
+	return out
+}
+
+// Exit terminates the task with the given code and releases its resources.
+func (k *Kernel) Exit(t *Task, code int) {
+	t.mu.Lock()
+	if t.exited {
+		t.mu.Unlock()
+		return
+	}
+	t.exited = true
+	t.exitCode = code
+	t.fds = make(map[int]*FileDesc)
+	t.mu.Unlock()
+	k.mu.Lock()
+	delete(k.tasks, t.pid)
+	k.mu.Unlock()
+}
+
+// Task returns the task with the given pid, or nil.
+func (k *Kernel) Task(pid int) *Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tasks[pid]
+}
+
+// Tasks returns a snapshot of all live tasks.
+func (k *Kernel) Tasks() []*Task {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Exec replaces the calling task's image with the program at path, applying
+// setuid-bit elevation (the baseline's trust mechanism) and any LSM
+// credential update (Protego's deferred setuid-on-exec). The program runs
+// to completion; its return value is the task's exit code. Exec returns an
+// error without running anything if the binary cannot be executed or the
+// LSM vetoes (e.g. a delegated transition to a non-whitelisted command,
+// which surfaces as EPERM at exec time exactly as described in §4.3).
+func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string) (int, error) {
+	clean := vfs.CleanPath(path, t.Cwd())
+	creds := t.credsRef()
+	ino, err := k.FS.Lookup(creds, clean)
+	if err != nil {
+		return -1, err
+	}
+	if !ino.Mode.IsRegular() {
+		return -1, errno.EACCES
+	}
+	if err := vfs.CheckAccess(creds, ino, vfs.MayExec); err != nil {
+		return -1, err
+	}
+	prog := k.LookupBinary(clean)
+	if prog == nil {
+		return -1, errno.ENOEXEC
+	}
+	if env == nil {
+		env = copyEnv(t.Env())
+	}
+	req := &lsm.ExecRequest{
+		Path:      clean,
+		Argv:      argv,
+		Env:       env,
+		SetuidBit: ino.Mode.IsSetuid(),
+		FileUID:   ino.UID,
+	}
+	update, err := k.LSM.ExecCheck(t, req)
+	if err != nil {
+		k.Auditf("exec denied: pid=%d uid=%d path=%s: %v", t.PID(), t.UID(), clean, err)
+		return -1, err
+	}
+
+	newCreds := creds.Clone()
+	if ino.Mode.IsSetuid() {
+		// The setuid *bit* (§3.1): the process executes as the
+		// binary's owner regardless of who exec-ed it.
+		newCreds.EUID = ino.UID
+		newCreds.FUID = ino.UID
+		newCreds.SUID = ino.UID
+		newCreds.recomputeCaps()
+	}
+	if ino.Mode.IsSetgid() {
+		newCreds.EGID = ino.GID
+		newCreds.FGID = ino.GID
+		newCreds.SGID = ino.GID
+	}
+	if update != nil {
+		if update.UID != nil {
+			newCreds.setAllUIDs(*update.UID)
+			newCreds.recomputeCaps()
+		}
+		if update.GID != nil {
+			newCreds.setAllGIDs(*update.GID)
+		}
+		switch {
+		case update.Groups != nil:
+			newCreds.Groups = append([]int(nil), update.Groups...)
+		case update.DropGroups:
+			newCreds.Groups = nil
+		}
+	}
+
+	t.mu.Lock()
+	t.creds = newCreds
+	t.binary = clean
+	t.argv = append([]string(nil), argv...)
+	t.env = req.Env // possibly filtered by the LSM
+	// Close-on-exec descriptors are closed, per POSIX; Protego marks the
+	// shadow file handle CLOEXEC so it cannot be inherited (§4.4).
+	for fd, f := range t.fds {
+		if f.CloseOnExec {
+			delete(t.fds, fd)
+		}
+	}
+	t.mu.Unlock()
+
+	return prog(k, t), nil
+}
+
+// Spawn is the fork+exec+wait convenience used by shells, utilities, and
+// tests: it runs path in a child of parent and returns the child's exit
+// code. The child shares the parent's terminal.
+func (k *Kernel) Spawn(parent *Task, path string, argv []string, env map[string]string) (int, error) {
+	child := k.Fork(parent)
+	code, err := k.Exec(child, path, argv, env)
+	k.Exit(child, code)
+	return code, err
+}
+
+// SpawnCapture runs path in a child with fresh stdout/stderr buffers and an
+// optional prompt answerer, returning the exit code and captured output.
+func (k *Kernel) SpawnCapture(parent *Task, path string, argv []string, env map[string]string, asker func(string) string) (code int, stdout, stderr string, err error) {
+	child := k.Fork(parent)
+	var out, errOut bytes.Buffer
+	child.Stdout = &out
+	child.Stderr = &errOut
+	if asker != nil {
+		child.Asker = asker
+	}
+	code, err = k.Exec(child, path, argv, env)
+	k.Exit(child, code)
+	return code, out.String(), errOut.String(), err
+}
+
+// denyErr converts an LSM deny into a concrete error.
+func denyErr(err error, fallback errno.Errno) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}

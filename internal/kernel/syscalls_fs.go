@@ -1,0 +1,308 @@
+package kernel
+
+import (
+	"protego/internal/errno"
+	"protego/internal/lsm"
+	"protego/internal/vfs"
+)
+
+// Open flags, mirroring fcntl.h.
+const (
+	O_RDONLY  = 0x0
+	O_WRONLY  = 0x1
+	O_RDWR    = 0x2
+	O_CREAT   = 0x40
+	O_TRUNC   = 0x200
+	O_APPEND  = 0x400
+	O_CLOEXEC = 0x80000
+)
+
+// FileDesc is an open file description.
+type FileDesc struct {
+	Ino         *vfs.Inode
+	Path        string
+	Flags       int
+	Pos         int
+	CloseOnExec bool
+}
+
+// fileOpenHook consults the LSM FileOpen hook, combining its decision with
+// the DAC outcome: Grant overrides a DAC failure, Deny overrides a DAC
+// success.
+func (k *Kernel) fileOpenHook(t *Task, path string, ino *vfs.Inode, write bool, dacErr error) error {
+	req := &lsm.OpenRequest{
+		Path:       path,
+		Write:      write,
+		OwnerUID:   ino.UID,
+		Mode:       uint32(ino.Mode),
+		DACAllowed: dacErr == nil,
+	}
+	dec, err := k.LSM.FileOpen(t, req)
+	switch dec {
+	case lsm.Deny:
+		k.Auditf("open denied by lsm: pid=%d uid=%d path=%s", t.PID(), t.UID(), path)
+		return denyErr(err, errno.EACCES)
+	case lsm.Grant:
+		return nil
+	default:
+		return dacErr
+	}
+}
+
+// Open opens path and installs a descriptor in the task's fd table.
+func (k *Kernel) Open(t *Task, path string, flags int) (int, error) {
+	clean := vfs.CleanPath(path, t.Cwd())
+	creds := t.credsRef()
+	ino, err := k.FS.Lookup(creds, clean)
+	if err == errno.ENOENT && flags&O_CREAT != 0 {
+		want := vfs.MayWrite
+		ino, err = k.FS.Create(creds, clean, 0o644, creds.FUID, creds.FGID)
+		if err != nil {
+			return -1, err
+		}
+		_ = want
+	} else if err != nil {
+		return -1, err
+	}
+	if ino.Mode.IsDir() && flags&(O_WRONLY|O_RDWR) != 0 {
+		return -1, errno.EISDIR
+	}
+	write := flags&(O_WRONLY|O_RDWR|O_APPEND|O_TRUNC) != 0
+	var want int
+	if write {
+		want = vfs.MayWrite
+	}
+	if flags&O_RDWR != 0 || flags&0x3 == O_RDONLY {
+		want |= vfs.MayRead
+	}
+	dacErr := vfs.CheckAccess(creds, ino, want)
+	if err := k.fileOpenHook(t, clean, ino, write, dacErr); err != nil {
+		return -1, err
+	}
+	if flags&O_TRUNC != 0 && ino.Mode.IsRegular() && !ino.IsProc() {
+		ino.Data = nil
+	}
+	fd := &FileDesc{
+		Ino:         ino,
+		Path:        clean,
+		Flags:       flags,
+		CloseOnExec: flags&O_CLOEXEC != 0,
+	}
+	t.mu.Lock()
+	n := t.nextFD
+	t.nextFD++
+	t.fds[n] = fd
+	t.mu.Unlock()
+	return n, nil
+}
+
+// fdesc resolves an fd number to its description.
+func (t *Task) fdesc(fd int) (*FileDesc, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.fds[fd]
+	if !ok {
+		return nil, errno.EBADF
+	}
+	return f, nil
+}
+
+// Read reads up to n bytes from the descriptor.
+func (k *Kernel) Read(t *Task, fd, n int) ([]byte, error) {
+	f, err := t.fdesc(fd)
+	if err != nil {
+		return nil, err
+	}
+	if f.Ino.ReadFn != nil {
+		return f.Ino.ReadFn(t.credsRef())
+	}
+	data := f.Ino.Data
+	if f.Pos >= len(data) {
+		return nil, nil // EOF
+	}
+	end := f.Pos + n
+	if end > len(data) {
+		end = len(data)
+	}
+	out := make([]byte, end-f.Pos)
+	copy(out, data[f.Pos:end])
+	f.Pos = end
+	return out, nil
+}
+
+// Write writes data at the descriptor's position (or appends with O_APPEND).
+func (k *Kernel) Write(t *Task, fd int, data []byte) (int, error) {
+	f, err := t.fdesc(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.Flags&0x3 == O_RDONLY && f.Flags&(O_APPEND|O_TRUNC) == 0 {
+		return 0, errno.EBADF
+	}
+	if f.Ino.WriteFn != nil {
+		if err := f.Ino.WriteFn(t.credsRef(), data); err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	}
+	if f.Flags&O_APPEND != 0 {
+		f.Ino.Data = append(f.Ino.Data, data...)
+		f.Pos = len(f.Ino.Data)
+		return len(data), nil
+	}
+	for len(f.Ino.Data) < f.Pos {
+		f.Ino.Data = append(f.Ino.Data, 0)
+	}
+	f.Ino.Data = append(f.Ino.Data[:f.Pos], data...)
+	f.Pos += len(data)
+	return len(data), nil
+}
+
+// CloseFD releases a descriptor.
+func (k *Kernel) CloseFD(t *Task, fd int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.fds[fd]; !ok {
+		return errno.EBADF
+	}
+	delete(t.fds, fd)
+	return nil
+}
+
+// SetCloseOnExec marks a descriptor close-on-exec (Protego marks shadow
+// file handles this way so they cannot be inherited, §4.4).
+func (k *Kernel) SetCloseOnExec(t *Task, fd int, on bool) error {
+	f, err := t.fdesc(fd)
+	if err != nil {
+		return err
+	}
+	f.CloseOnExec = on
+	return nil
+}
+
+// Stat returns the inode at path.
+func (k *Kernel) Stat(t *Task, path string) (*vfs.Inode, error) {
+	return k.FS.Stat(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
+}
+
+// Access reports whether the task may access path with the given rights.
+func (k *Kernel) Access(t *Task, path string, want int) error {
+	ino, err := k.Stat(t, path)
+	if err != nil {
+		return err
+	}
+	return vfs.CheckAccess(t.credsRef(), ino, want)
+}
+
+// ReadFile is the open+read+close convenience used by the utilities. All
+// LSM open mediation applies.
+func (k *Kernel) ReadFile(t *Task, path string) ([]byte, error) {
+	clean := vfs.CleanPath(path, t.Cwd())
+	creds := t.credsRef()
+	ino, err := k.FS.Lookup(creds, clean)
+	if err != nil {
+		return nil, err
+	}
+	if ino.Mode.IsDir() {
+		return nil, errno.EISDIR
+	}
+	dacErr := vfs.CheckAccess(creds, ino, vfs.MayRead)
+	if err := k.fileOpenHook(t, clean, ino, false, dacErr); err != nil {
+		return nil, err
+	}
+	if ino.ReadFn != nil {
+		return ino.ReadFn(creds)
+	}
+	out := make([]byte, len(ino.Data))
+	copy(out, ino.Data)
+	return out, nil
+}
+
+// WriteFile is the open+write+close convenience (creates with mode 0644
+// owned by the task's fsuid when absent). LSM open mediation applies.
+func (k *Kernel) WriteFile(t *Task, path string, data []byte) error {
+	clean := vfs.CleanPath(path, t.Cwd())
+	creds := t.credsRef()
+	ino, err := k.FS.Lookup(creds, clean)
+	if err == errno.ENOENT {
+		return k.FS.WriteFile(creds, clean, data, 0o644, creds.FUID, creds.FGID)
+	}
+	if err != nil {
+		return err
+	}
+	dacErr := vfs.CheckAccess(creds, ino, vfs.MayWrite)
+	if hookErr := k.fileOpenHook(t, clean, ino, true, dacErr); hookErr != nil {
+		return hookErr
+	}
+	if ino.WriteFn != nil {
+		return ino.WriteFn(creds, data)
+	}
+	// Passed mediation: perform the write as the file's own logic would.
+	return k.FS.WriteFile(vfs.RootCred, clean, data, ino.Mode, ino.UID, ino.GID)
+}
+
+// AppendFile appends to an existing file with LSM mediation.
+func (k *Kernel) AppendFile(t *Task, path string, data []byte) error {
+	clean := vfs.CleanPath(path, t.Cwd())
+	creds := t.credsRef()
+	ino, err := k.FS.Lookup(creds, clean)
+	if err != nil {
+		return err
+	}
+	dacErr := vfs.CheckAccess(creds, ino, vfs.MayWrite)
+	if hookErr := k.fileOpenHook(t, clean, ino, true, dacErr); hookErr != nil {
+		return hookErr
+	}
+	return k.FS.AppendFile(vfs.RootCred, clean, data)
+}
+
+// Mkdir creates a directory owned by the task's fsuid.
+func (k *Kernel) Mkdir(t *Task, path string, mode vfs.Mode) error {
+	creds := t.credsRef()
+	_, err := k.FS.Mkdir(creds, vfs.CleanPath(path, t.Cwd()), mode, creds.FUID, creds.FGID)
+	return err
+}
+
+// Unlink removes a file.
+func (k *Kernel) Unlink(t *Task, path string) error {
+	return k.FS.Remove(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
+}
+
+// Rename moves a file.
+func (k *Kernel) Rename(t *Task, oldPath, newPath string) error {
+	return k.FS.Rename(t.credsRef(), vfs.CleanPath(oldPath, t.Cwd()), vfs.CleanPath(newPath, t.Cwd()))
+}
+
+// Chmod changes permission bits.
+func (k *Kernel) Chmod(t *Task, path string, mode vfs.Mode) error {
+	return k.FS.Chmod(t.credsRef(), vfs.CleanPath(path, t.Cwd()), mode)
+}
+
+// Chown changes ownership.
+func (k *Kernel) Chown(t *Task, path string, uid, gid int) error {
+	return k.FS.Chown(t.credsRef(), vfs.CleanPath(path, t.Cwd()), uid, gid)
+}
+
+// ReadDir lists a directory.
+func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
+	return k.FS.ReadDir(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
+}
+
+// Chdir changes the working directory.
+func (k *Kernel) Chdir(t *Task, path string) error {
+	clean := vfs.CleanPath(path, t.Cwd())
+	ino, err := k.FS.Lookup(t.credsRef(), clean)
+	if err != nil {
+		return err
+	}
+	if !ino.Mode.IsDir() {
+		return errno.ENOTDIR
+	}
+	if err := vfs.CheckAccess(t.credsRef(), ino, vfs.MayExec); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.cwd = clean
+	t.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,356 @@
+// Package lsm implements a Linux Security Module-style hook framework for
+// the simulated kernel (Wright et al., USENIX Security 2002). The kernel
+// invokes every registered module at each mediation point. Unlike stock
+// Linux hooks, which are purely restrictive, these hooks carry the Protego
+// kernel change (the paper's 415 added lines): at call sites that were
+// previously hard-coded capability checks, the kernel now consults the LSM,
+// and a module may *grant* an operation the base policy would deny — the
+// mount whitelist, bind table, and delegation rules all work this way.
+// Modules may equally *deny* operations the base policy would allow, which
+// is how the AppArmor baseline (internal/apparmor) behaves.
+package lsm
+
+import (
+	"protego/internal/caps"
+)
+
+// Task is the view of a kernel task exposed to security modules. It is
+// implemented by kernel.Task; lsm deliberately does not import the kernel
+// package (the dependency points the other way, as in Linux).
+type Task interface {
+	// PID returns the task's process id.
+	PID() int
+	// UID returns the real user id.
+	UID() int
+	// EUID returns the effective user id.
+	EUID() int
+	// GID returns the real group id.
+	GID() int
+	// EGID returns the effective group id.
+	EGID() int
+	// Groups returns the supplementary group ids.
+	Groups() []int
+	// Capable reports whether the task's effective capability set
+	// contains c.
+	Capable(c caps.Cap) bool
+	// BinaryPath returns the path of the binary the task is executing,
+	// used by object-based policies that key on (binary, uid) pairs.
+	BinaryPath() string
+	// SecurityBlob returns module-private state attached to the task
+	// under key, or nil. This models the security pointer in task_struct
+	// that the Protego kernel uses to track authentication recency and
+	// pending setuid-on-exec state.
+	SecurityBlob(key string) any
+	// SetSecurityBlob attaches module-private state to the task.
+	SetSecurityBlob(key string, v any)
+}
+
+// Decision is a module's opinion about an operation.
+type Decision int
+
+// Decisions, in increasing precedence for chain combination (Deny always
+// dominates).
+const (
+	// NoOpinion defers to the kernel's base policy (e.g. "requires
+	// CAP_SYS_ADMIN").
+	NoOpinion Decision = iota
+	// Grant permits the operation even where base policy would deny it —
+	// the Protego relaxation for whitelisted objects.
+	Grant
+	// DeferToExec (setuid/setgid only) reports success to the caller but
+	// defers the credential change to the next exec, where the (binary,
+	// target user) pair is validated — the paper's setuid-on-exec
+	// mechanism (§4.3), needed because enforcement spans two syscalls.
+	DeferToExec
+	// Deny rejects the operation regardless of base policy.
+	Deny
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case NoOpinion:
+		return "no-opinion"
+	case Grant:
+		return "grant"
+	case DeferToExec:
+		return "defer-to-exec"
+	case Deny:
+		return "deny"
+	default:
+		return "invalid"
+	}
+}
+
+// MountRequest carries the arguments of a mount(2) call to the hook.
+type MountRequest struct {
+	Device   string
+	Point    string
+	FSType   string
+	Options  []string
+	ReadOnly bool
+}
+
+// UmountRequest carries the arguments of umount(2).
+type UmountRequest struct {
+	Point string
+	// Device that is mounted there, if any.
+	Device string
+	// MountedBy is the uid that created the mount.
+	MountedBy int
+	// UserMount records whether the mount was created by a non-root user
+	// through the user-mount whitelist.
+	UserMount bool
+}
+
+// SocketRequest carries the arguments of socket(2).
+type SocketRequest struct {
+	Family int
+	Type   int
+	Proto  int
+	// MarkUnprivRaw is set by a module that grants an unprivileged raw
+	// socket; the kernel then tags the socket so netfilter can subject
+	// its traffic to the raw-socket rules.
+	MarkUnprivRaw bool
+}
+
+// BindRequest carries the arguments of bind(2).
+type BindRequest struct {
+	Family int
+	Type   int
+	Proto  int
+	Port   int
+}
+
+// IoctlRequest describes a device ioctl.
+type IoctlRequest struct {
+	Path string // device path, e.g. /dev/ppp
+	Cmd  uint32
+	Arg  any
+}
+
+// ExecRequest describes an execve(2). Env may be filtered in place by a
+// module (Protego sanitizes the environment across delegated transitions).
+type ExecRequest struct {
+	Path string
+	Argv []string
+	Env  map[string]string
+	// SetuidBit reports whether the binary carries the setuid bit, and
+	// FileUID its owner; modules may veto the privilege elevation.
+	SetuidBit bool
+	FileUID   int
+}
+
+// CredUpdate is returned from ExecCheck when a module wants the kernel to
+// apply a credential change at exec time (the deferred half of
+// setuid-on-exec). Nil pointers mean "leave unchanged".
+type CredUpdate struct {
+	UID *int
+	GID *int
+	// Groups, when non-nil, replaces the supplementary groups (the
+	// target user's groups on a delegated transition).
+	Groups []int
+	// DropGroups clears supplementary groups; ignored when Groups is
+	// non-nil.
+	DropGroups bool
+}
+
+// OpenRequest describes a file open for the FileOpen hook.
+type OpenRequest struct {
+	Path  string
+	Write bool
+	// OwnerUID and Mode describe the target inode so modules can apply
+	// object-based policy without a VFS dependency.
+	OwnerUID int
+	Mode     uint32
+	// DACAllowed reports whether discretionary access control already
+	// admits the open; a Grant decision overrides a DAC failure.
+	DACAllowed bool
+}
+
+// GroupResolver is an optional module capability: resolving the
+// supplementary groups of a uid, so the kernel can establish the target's
+// groups when it performs a granted credential transition (the task itself
+// is unprivileged afterwards and could not).
+type GroupResolver interface {
+	ResolveGroups(uid int) ([]int, bool)
+}
+
+// Module is the full set of mediation hooks. Embed Base to get
+// no-opinion defaults and override only the hooks a policy needs.
+type Module interface {
+	// Name identifies the module in logs and /proc output.
+	Name() string
+
+	// MountCheck mediates mount(2).
+	MountCheck(t Task, req *MountRequest) (Decision, error)
+	// UmountCheck mediates umount(2).
+	UmountCheck(t Task, req *UmountRequest) (Decision, error)
+	// SocketCreate mediates socket(2); raw/packet socket creation by
+	// tasks lacking CAP_NET_RAW reaches here on Protego instead of
+	// failing outright.
+	SocketCreate(t Task, req *SocketRequest) (Decision, error)
+	// BindCheck mediates bind(2) to ports below 1024 by callers lacking
+	// CAP_NET_BIND_SERVICE.
+	BindCheck(t Task, req *BindRequest) (Decision, error)
+	// IoctlCheck mediates privileged device ioctls (route updates, modem
+	// configuration, dmcrypt metadata).
+	IoctlCheck(t Task, req *IoctlRequest) (Decision, error)
+	// SetuidCheck mediates setuid(2) transitions base policy would deny.
+	SetuidCheck(t Task, targetUID int) (Decision, error)
+	// SetgidCheck mediates setgid(2)/newgrp transitions.
+	SetgidCheck(t Task, targetGID int) (Decision, error)
+	// ExecCheck mediates execve(2); it may veto the exec or return a
+	// credential update to apply (completing a deferred setuid).
+	ExecCheck(t Task, req *ExecRequest) (*CredUpdate, error)
+	// FileOpen mediates opens: Deny blocks a DAC-admitted open, Grant
+	// admits a DAC-denied one (e.g. ssh-keysign reading the host key).
+	FileOpen(t Task, req *OpenRequest) (Decision, error)
+}
+
+// Base provides no-opinion defaults for all hooks.
+type Base struct{}
+
+// MountCheck has no opinion by default.
+func (Base) MountCheck(Task, *MountRequest) (Decision, error) { return NoOpinion, nil }
+
+// UmountCheck has no opinion by default.
+func (Base) UmountCheck(Task, *UmountRequest) (Decision, error) { return NoOpinion, nil }
+
+// SocketCreate has no opinion by default.
+func (Base) SocketCreate(Task, *SocketRequest) (Decision, error) { return NoOpinion, nil }
+
+// BindCheck has no opinion by default.
+func (Base) BindCheck(Task, *BindRequest) (Decision, error) { return NoOpinion, nil }
+
+// IoctlCheck has no opinion by default.
+func (Base) IoctlCheck(Task, *IoctlRequest) (Decision, error) { return NoOpinion, nil }
+
+// SetuidCheck has no opinion by default.
+func (Base) SetuidCheck(Task, int) (Decision, error) { return NoOpinion, nil }
+
+// SetgidCheck has no opinion by default.
+func (Base) SetgidCheck(Task, int) (Decision, error) { return NoOpinion, nil }
+
+// ExecCheck allows by default with no credential update.
+func (Base) ExecCheck(Task, *ExecRequest) (*CredUpdate, error) { return nil, nil }
+
+// FileOpen has no opinion by default.
+func (Base) FileOpen(Task, *OpenRequest) (Decision, error) { return NoOpinion, nil }
+
+// combine merges a new decision into an accumulator: Deny dominates, then
+// DeferToExec, then Grant, then NoOpinion.
+func combine(acc, d Decision) Decision {
+	if d > acc {
+		return d
+	}
+	return acc
+}
+
+// Chain composes several modules. Deny from any module wins, matching the
+// restrictive stacking discipline of Linux LSMs; otherwise the strongest
+// permissive decision is reported to the kernel.
+type Chain struct {
+	modules []Module
+}
+
+// NewChain creates a chain over the given modules (evaluated in order).
+func NewChain(modules ...Module) *Chain {
+	return &Chain{modules: append([]Module(nil), modules...)}
+}
+
+// Register appends a module to the chain.
+func (c *Chain) Register(m Module) { c.modules = append(c.modules, m) }
+
+// Modules returns the registered modules in evaluation order.
+func (c *Chain) Modules() []Module { return c.modules }
+
+// Name implements Module for nested chains.
+func (c *Chain) Name() string { return "chain" }
+
+type hookFunc func(m Module) (Decision, error)
+
+func (c *Chain) run(f hookFunc) (Decision, error) {
+	acc := NoOpinion
+	for _, m := range c.modules {
+		dec, err := f(m)
+		if dec == Deny {
+			return Deny, err
+		}
+		if err != nil {
+			return Deny, err
+		}
+		acc = combine(acc, dec)
+	}
+	return acc, nil
+}
+
+// MountCheck runs the hook across the chain.
+func (c *Chain) MountCheck(t Task, req *MountRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.MountCheck(t, req) })
+}
+
+// UmountCheck runs the hook across the chain.
+func (c *Chain) UmountCheck(t Task, req *UmountRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.UmountCheck(t, req) })
+}
+
+// SocketCreate runs the hook across the chain.
+func (c *Chain) SocketCreate(t Task, req *SocketRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.SocketCreate(t, req) })
+}
+
+// BindCheck runs the hook across the chain.
+func (c *Chain) BindCheck(t Task, req *BindRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.BindCheck(t, req) })
+}
+
+// IoctlCheck runs the hook across the chain.
+func (c *Chain) IoctlCheck(t Task, req *IoctlRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.IoctlCheck(t, req) })
+}
+
+// SetuidCheck runs the hook across the chain.
+func (c *Chain) SetuidCheck(t Task, targetUID int) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.SetuidCheck(t, targetUID) })
+}
+
+// SetgidCheck runs the hook across the chain.
+func (c *Chain) SetgidCheck(t Task, targetGID int) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.SetgidCheck(t, targetGID) })
+}
+
+// ExecCheck runs the hook across the chain; the first non-nil CredUpdate is
+// kept (modules later in the chain still get to veto).
+func (c *Chain) ExecCheck(t Task, req *ExecRequest) (*CredUpdate, error) {
+	var update *CredUpdate
+	for _, m := range c.modules {
+		u, err := m.ExecCheck(t, req)
+		if err != nil {
+			return nil, err
+		}
+		if update == nil {
+			update = u
+		}
+	}
+	return update, nil
+}
+
+// FileOpen runs the hook across the chain.
+func (c *Chain) FileOpen(t Task, req *OpenRequest) (Decision, error) {
+	return c.run(func(m Module) (Decision, error) { return m.FileOpen(t, req) })
+}
+
+// ResolveGroups queries the first module implementing GroupResolver.
+func (c *Chain) ResolveGroups(uid int) ([]int, bool) {
+	for _, m := range c.modules {
+		if r, ok := m.(GroupResolver); ok {
+			if groups, ok := r.ResolveGroups(uid); ok {
+				return groups, true
+			}
+		}
+	}
+	return nil, false
+}
+
+var _ Module = (*Chain)(nil)

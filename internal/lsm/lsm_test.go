@@ -1,0 +1,191 @@
+package lsm
+
+import (
+	"errors"
+	"testing"
+
+	"protego/internal/caps"
+	"protego/internal/errno"
+)
+
+// scriptedModule returns fixed decisions for chain-combination tests.
+type scriptedModule struct {
+	Base
+	name     string
+	mount    Decision
+	mountErr error
+	setuid   Decision
+	groups   []int
+	update   *CredUpdate
+	execErr  error
+}
+
+func (m *scriptedModule) Name() string { return m.name }
+func (m *scriptedModule) MountCheck(Task, *MountRequest) (Decision, error) {
+	return m.mount, m.mountErr
+}
+func (m *scriptedModule) SetuidCheck(Task, int) (Decision, error) { return m.setuid, nil }
+func (m *scriptedModule) ExecCheck(Task, *ExecRequest) (*CredUpdate, error) {
+	return m.update, m.execErr
+}
+func (m *scriptedModule) ResolveGroups(int) ([]int, bool) {
+	if m.groups == nil {
+		return nil, false
+	}
+	return m.groups, true
+}
+
+// nullTask satisfies Task for chain tests.
+type nullTask struct{ blobs map[string]any }
+
+func (n *nullTask) PID() int              { return 1 }
+func (n *nullTask) UID() int              { return 1000 }
+func (n *nullTask) EUID() int             { return 1000 }
+func (n *nullTask) GID() int              { return 100 }
+func (n *nullTask) EGID() int             { return 100 }
+func (n *nullTask) Groups() []int         { return nil }
+func (n *nullTask) Capable(caps.Cap) bool { return false }
+func (n *nullTask) BinaryPath() string    { return "/bin/x" }
+func (n *nullTask) SecurityBlob(k string) any {
+	return n.blobs[k]
+}
+func (n *nullTask) SetSecurityBlob(k string, v any) {
+	if n.blobs == nil {
+		n.blobs = map[string]any{}
+	}
+	n.blobs[k] = v
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := map[Decision]string{
+		NoOpinion: "no-opinion", Grant: "grant", DeferToExec: "defer-to-exec",
+		Deny: "deny", Decision(99): "invalid",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Errorf("%d: %q", d, d.String())
+		}
+	}
+}
+
+func TestChainDenyWins(t *testing.T) {
+	c := NewChain(
+		&scriptedModule{name: "a", mount: Grant},
+		&scriptedModule{name: "b", mount: Deny, mountErr: errno.EACCES},
+	)
+	dec, err := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != Deny || err != errno.EACCES {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+}
+
+func TestChainGrantBeatsNoOpinion(t *testing.T) {
+	c := NewChain(
+		&scriptedModule{name: "a", mount: NoOpinion},
+		&scriptedModule{name: "b", mount: Grant},
+	)
+	dec, err := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != Grant || err != nil {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+}
+
+func TestChainDeferBeatsGrant(t *testing.T) {
+	c := NewChain(
+		&scriptedModule{name: "a", setuid: Grant},
+		&scriptedModule{name: "b", setuid: DeferToExec},
+	)
+	dec, err := c.SetuidCheck(&nullTask{}, 0)
+	if dec != DeferToExec || err != nil {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+}
+
+func TestChainEmptyIsNoOpinion(t *testing.T) {
+	c := NewChain()
+	dec, err := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != NoOpinion || err != nil {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+}
+
+func TestChainExecFirstUpdateWins(t *testing.T) {
+	uid1, uid2 := 1, 2
+	c := NewChain(
+		&scriptedModule{name: "a", update: &CredUpdate{UID: &uid1}},
+		&scriptedModule{name: "b", update: &CredUpdate{UID: &uid2}},
+	)
+	u, err := c.ExecCheck(&nullTask{}, &ExecRequest{})
+	if err != nil || u == nil || *u.UID != 1 {
+		t.Fatalf("update: %+v %v", u, err)
+	}
+}
+
+func TestChainExecVeto(t *testing.T) {
+	c := NewChain(
+		&scriptedModule{name: "a"},
+		&scriptedModule{name: "b", execErr: errno.EPERM},
+	)
+	if _, err := c.ExecCheck(&nullTask{}, &ExecRequest{}); !errors.Is(err, errno.EPERM) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestChainResolveGroups(t *testing.T) {
+	c := NewChain(
+		&scriptedModule{name: "a"},                      // no resolver data
+		&scriptedModule{name: "b", groups: []int{7, 9}}, // resolves
+	)
+	groups, ok := c.ResolveGroups(1000)
+	if !ok || len(groups) != 2 {
+		t.Fatalf("groups: %v %v", groups, ok)
+	}
+	empty := NewChain(&scriptedModule{name: "a"})
+	if _, ok := empty.ResolveGroups(1000); ok {
+		t.Fatal("resolved from nothing")
+	}
+}
+
+func TestBaseDefaults(t *testing.T) {
+	var b Base
+	task := &nullTask{}
+	if d, err := b.MountCheck(task, nil); d != NoOpinion || err != nil {
+		t.Fatal("MountCheck default")
+	}
+	if d, _ := b.UmountCheck(task, nil); d != NoOpinion {
+		t.Fatal("UmountCheck default")
+	}
+	if d, _ := b.SocketCreate(task, nil); d != NoOpinion {
+		t.Fatal("SocketCreate default")
+	}
+	if d, _ := b.BindCheck(task, nil); d != NoOpinion {
+		t.Fatal("BindCheck default")
+	}
+	if d, _ := b.IoctlCheck(task, nil); d != NoOpinion {
+		t.Fatal("IoctlCheck default")
+	}
+	if d, _ := b.SetuidCheck(task, 0); d != NoOpinion {
+		t.Fatal("SetuidCheck default")
+	}
+	if d, _ := b.SetgidCheck(task, 0); d != NoOpinion {
+		t.Fatal("SetgidCheck default")
+	}
+	if u, err := b.ExecCheck(task, nil); u != nil || err != nil {
+		t.Fatal("ExecCheck default")
+	}
+	if d, _ := b.FileOpen(task, nil); d != NoOpinion {
+		t.Fatal("FileOpen default")
+	}
+}
+
+func TestChainRegister(t *testing.T) {
+	c := NewChain()
+	c.Register(&scriptedModule{name: "late", mount: Grant})
+	if len(c.Modules()) != 1 {
+		t.Fatal("register failed")
+	}
+	dec, _ := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != Grant {
+		t.Fatal("late module ignored")
+	}
+}

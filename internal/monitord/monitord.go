@@ -1,0 +1,332 @@
+// Package monitord implements the trusted monitoring daemon of the Protego
+// design (Table 2: 400 lines of Python in the paper, built on inotify).
+// It watches the legacy, policy-relevant configuration files — /etc/fstab,
+// /etc/sudoers (+/etc/sudoers.d), /etc/bind, /etc/ppp/options — and pushes
+// their parsed contents into the kernel through the /proc/protego files,
+// exactly the flow of Figure 1. It also keeps the fragmented per-account
+// credential files and the legacy shared databases synchronized in both
+// directions for backward compatibility (§2, §4.4). The daemon is only
+// required for backward compatibility: an administrator can write the
+// /proc files directly.
+package monitord
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"protego/internal/accountdb"
+	"protego/internal/core"
+	"protego/internal/kernel"
+	"protego/internal/policy"
+	"protego/internal/vfs"
+)
+
+// Config file locations the daemon watches.
+const (
+	FstabPath      = "/etc/fstab"
+	SudoersPath    = "/etc/sudoers"
+	SudoersDir     = "/etc/sudoers.d"
+	BindPath       = "/etc/bind"
+	PPPOptionsPath = "/etc/ppp/options"
+)
+
+// Daemon is the monitoring daemon. It runs with root privilege (it is part
+// of the trusted computing base, alongside the authentication service).
+type Daemon struct {
+	k   *kernel.Kernel
+	db  *accountdb.DB
+	mod *core.Module
+
+	// Debounce is the settle delay after a burst of file events.
+	Debounce time.Duration
+
+	mu    sync.Mutex
+	syncs map[string]int
+}
+
+// New creates a daemon for the kernel. mod may be nil when the daemon is
+// used only for account synchronization; policy syncs then fail.
+func New(k *kernel.Kernel, db *accountdb.DB, mod *core.Module) *Daemon {
+	return &Daemon{
+		k:        k,
+		db:       db,
+		mod:      mod,
+		Debounce: 5 * time.Millisecond,
+		syncs:    make(map[string]int),
+	}
+}
+
+// SyncCount reports how many synchronization passes completed for target
+// ("mounts", "delegation", "bind", "ppp", "accounts-legacy",
+// "accounts-fragments").
+func (d *Daemon) SyncCount(target string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs[target]
+}
+
+func (d *Daemon) bump(target string) {
+	d.mu.Lock()
+	d.syncs[target]++
+	d.mu.Unlock()
+}
+
+// writeProc writes data to a /proc policy file with root credentials (the
+// daemon is root; the file is mode 0600 root).
+func (d *Daemon) writeProc(path string, data string) error {
+	ino, err := d.k.FS.Lookup(vfs.RootCred, path)
+	if err != nil {
+		return err
+	}
+	if ino.WriteFn == nil {
+		return fmt.Errorf("monitord: %s is not a policy file", path)
+	}
+	return ino.WriteFn(vfs.RootCred, []byte(data))
+}
+
+// SyncMounts translates the user entries of /etc/fstab into the kernel's
+// mount whitelist.
+func (d *Daemon) SyncMounts() error {
+	data, err := d.k.FS.ReadFile(vfs.RootCred, FstabPath)
+	if err != nil {
+		return err
+	}
+	entries, err := policy.ParseFstab(string(data))
+	if err != nil {
+		return fmt.Errorf("monitord: fstab: %w", err)
+	}
+	rules := core.MountRulesFromFstab(entries)
+	var b strings.Builder
+	b.WriteString("clear\n")
+	for _, r := range rules {
+		b.WriteString("add ")
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	if err := d.writeProc(core.ProcMounts, b.String()); err != nil {
+		return err
+	}
+	d.bump("mounts")
+	return nil
+}
+
+// SyncDelegation concatenates /etc/sudoers and /etc/sudoers.d/* and pushes
+// the result to the kernel's delegation policy.
+func (d *Daemon) SyncDelegation() error {
+	var b strings.Builder
+	data, err := d.k.FS.ReadFile(vfs.RootCred, SudoersPath)
+	if err != nil {
+		return err
+	}
+	b.Write(data)
+	b.WriteByte('\n')
+	if names, err := d.k.FS.ReadDir(vfs.RootCred, SudoersDir); err == nil {
+		for _, name := range names {
+			frag, err := d.k.FS.ReadFile(vfs.RootCred, SudoersDir+"/"+name)
+			if err != nil {
+				return err
+			}
+			b.Write(frag)
+			b.WriteByte('\n')
+		}
+	}
+	if err := d.writeProc(core.ProcDelegation, b.String()); err != nil {
+		return err
+	}
+	d.bump("delegation")
+	return nil
+}
+
+// SyncBind pushes /etc/bind (usernames resolved to uids) into the kernel's
+// port allocation table.
+func (d *Daemon) SyncBind() error {
+	data, err := d.k.FS.ReadFile(vfs.RootCred, BindPath)
+	if err != nil {
+		return err
+	}
+	entries, err := policy.ParseBind(string(data))
+	if err != nil {
+		return fmt.Errorf("monitord: bind: %w", err)
+	}
+	var b strings.Builder
+	b.WriteString("clear\n")
+	for i := range entries {
+		e := &entries[i]
+		u, err := d.db.LookupUser(e.User)
+		if err != nil {
+			return fmt.Errorf("monitord: bind: unknown user %q", e.User)
+		}
+		fmt.Fprintf(&b, "add %d %s %s %d\n", e.Port, e.Proto, e.Binary, u.UID)
+	}
+	if err := d.writeProc(core.ProcBind, b.String()); err != nil {
+		return err
+	}
+	d.bump("bind")
+	return nil
+}
+
+// SyncPPP pushes /etc/ppp/options into the kernel's PPP policy.
+func (d *Daemon) SyncPPP() error {
+	data, err := d.k.FS.ReadFile(vfs.RootCred, PPPOptionsPath)
+	if err != nil {
+		return err
+	}
+	if err := d.writeProc(core.ProcPPP, string(data)); err != nil {
+		return err
+	}
+	d.bump("ppp")
+	return nil
+}
+
+// SyncAccountsFromFragments rebuilds the legacy shared database files from
+// the per-account fragments (called when a fragment changes — e.g. a user
+// ran passwd or chsh).
+func (d *Daemon) SyncAccountsFromFragments() error {
+	if err := accountdb.SynthesizeLegacy(d.k.FS); err != nil {
+		return err
+	}
+	if d.mod != nil {
+		d.mod.InvalidateIdentity()
+	}
+	d.bump("accounts-legacy")
+	return nil
+}
+
+// SyncAccountsToFragments re-fragments the shared files (called when the
+// legacy files change — e.g. the administrator ran vipw or added a user).
+func (d *Daemon) SyncAccountsToFragments() error {
+	if err := accountdb.Fragment(d.k.FS); err != nil {
+		return err
+	}
+	if d.mod != nil {
+		d.mod.InvalidateIdentity()
+	}
+	d.bump("accounts-fragments")
+	return nil
+}
+
+// SyncAll performs every synchronization once (boot-time initialization).
+// Missing optional files (/etc/bind, /etc/ppp/options, fragments) are
+// skipped silently; a malformed present file is an error.
+func (d *Daemon) SyncAll() error {
+	type step struct {
+		name     string
+		required bool
+		fn       func() error
+		present  func() bool
+	}
+	exists := func(path string) func() bool {
+		return func() bool { return d.k.FS.Exists(vfs.RootCred, path) }
+	}
+	steps := []step{
+		{"mounts", false, d.SyncMounts, exists(FstabPath)},
+		{"delegation", false, d.SyncDelegation, exists(SudoersPath)},
+		{"bind", false, d.SyncBind, exists(BindPath)},
+		{"ppp", false, d.SyncPPP, exists(PPPOptionsPath)},
+		{"accounts", false, d.SyncAccountsToFragments, exists(accountdb.PasswdFile)},
+	}
+	for _, s := range steps {
+		if !s.present() {
+			continue
+		}
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("monitord: sync %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
+
+// Run watches /etc and re-synchronizes the affected policy on each change
+// until stop is closed. Events are debounced so editors that write
+// temp+rename do not trigger half-parsed syncs. The watch is registered
+// before Run returns control to the scheduler only when started via
+// Start; prefer Start to avoid missing edits racing with daemon startup.
+func (d *Daemon) Run(stop <-chan struct{}) {
+	w := d.k.FS.Watch("/etc")
+	d.loop(w, stop)
+}
+
+// Start registers the /etc watch synchronously and then services events on
+// a background goroutine, so configuration edits made immediately after
+// Start returns are guaranteed to be observed.
+func (d *Daemon) Start(stop <-chan struct{}) {
+	w := d.k.FS.Watch("/etc")
+	go d.loop(w, stop)
+}
+
+func (d *Daemon) loop(w *vfs.Watch, stop <-chan struct{}) {
+	defer w.Close()
+	pending := make(map[string]bool)
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	for {
+		select {
+		case ev, ok := <-w.C:
+			if !ok {
+				return
+			}
+			if target := d.classify(ev.Path); target != "" {
+				pending[target] = true
+				if timer == nil {
+					timer = time.NewTimer(d.Debounce)
+				} else {
+					timer.Reset(d.Debounce)
+				}
+				timerC = timer.C
+			}
+		case <-timerC:
+			for target := range pending {
+				d.dispatch(target)
+			}
+			pending = make(map[string]bool)
+			timerC = nil
+		case <-stop:
+			return
+		}
+	}
+}
+
+// classify maps a changed path to the sync target it affects.
+func (d *Daemon) classify(path string) string {
+	switch {
+	case path == FstabPath:
+		return "mounts"
+	case path == SudoersPath || vfs.IsUnder(path, SudoersDir):
+		return "delegation"
+	case path == BindPath:
+		return "bind"
+	case path == PPPOptionsPath:
+		return "ppp"
+	case vfs.IsUnder(path, accountdb.PasswdsDir),
+		vfs.IsUnder(path, accountdb.ShadowsDir),
+		vfs.IsUnder(path, accountdb.GroupsDir):
+		return "accounts-legacy"
+	case path == accountdb.PasswdFile, path == accountdb.ShadowFile, path == accountdb.GroupFile:
+		return "accounts-fragments"
+	default:
+		return ""
+	}
+}
+
+func (d *Daemon) dispatch(target string) {
+	var err error
+	switch target {
+	case "mounts":
+		err = d.SyncMounts()
+	case "delegation":
+		err = d.SyncDelegation()
+	case "bind":
+		err = d.SyncBind()
+	case "ppp":
+		err = d.SyncPPP()
+	case "accounts-legacy":
+		err = d.SyncAccountsFromFragments()
+	case "accounts-fragments":
+		err = d.SyncAccountsToFragments()
+	}
+	if err != nil {
+		d.k.Auditf("monitord: sync %s failed: %v", target, err)
+	}
+}

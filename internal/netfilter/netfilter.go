@@ -1,0 +1,309 @@
+// Package netfilter implements the packet-filtering framework the Protego
+// prototype extends (≈100 lines of netfilter changes + a 175-line iptables
+// extension in the paper). Rules on the OUTPUT chain mediate packets sent
+// through raw and packet sockets: Protego lets any user *create* a raw
+// socket, but outgoing packets are subject to these rules, so a compromised
+// network utility can no longer spoof traffic from other applications'
+// sockets (§4.1.1).
+package netfilter
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"protego/internal/netstack"
+)
+
+// Verdict aliases netstack's filter verdict for rule construction.
+type Verdict = netstack.Verdict
+
+// Re-exported verdicts.
+const (
+	Accept = netstack.Accept
+	Drop   = netstack.Drop
+)
+
+// AnyProto matches every protocol in a rule.
+const AnyProto = -1
+
+// Rule matches packets on the OUTPUT path. Zero-valued match fields are
+// wildcards. The UnprivRawOnly field is the paper's netfilter extension:
+// such rules consider only packets from raw sockets created without
+// CAP_NET_RAW.
+type Rule struct {
+	Name string
+
+	Proto         int   // AnyProto or IPPROTO_*
+	ICMPTypes     []int // nil = any ICMP type (when Proto is ICMP)
+	DstPorts      []int // nil = any destination port
+	UIDs          []int // nil = any sender uid
+	UnprivRawOnly bool  // match only unprivileged raw-socket packets
+	RawOnly       bool  // match only raw-socket packets (any privilege)
+	SpoofedOnly   bool  // match only packets with a forged source endpoint
+
+	Verdict Verdict
+}
+
+// matches reports whether the rule applies to the packet.
+func (r *Rule) matches(pkt *netstack.Packet) bool {
+	if r.UnprivRawOnly && !pkt.UnprivRaw {
+		return false
+	}
+	if r.RawOnly && !pkt.FromRaw {
+		return false
+	}
+	if r.SpoofedOnly && !pkt.SpoofedSource {
+		return false
+	}
+	if r.Proto != AnyProto && r.Proto != 0 && pkt.Proto != r.Proto {
+		return false
+	}
+	if len(r.ICMPTypes) > 0 {
+		found := false
+		for _, t := range r.ICMPTypes {
+			if pkt.ICMPType == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(r.DstPorts) > 0 {
+		found := false
+		for _, p := range r.DstPorts {
+			if pkt.DstPort == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(r.UIDs) > 0 {
+		found := false
+		for _, u := range r.UIDs {
+			if pkt.SenderUID == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in iptables -S style.
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString("-A OUTPUT")
+	switch r.Proto {
+	case netstack.IPPROTO_ICMP:
+		b.WriteString(" -p icmp")
+	case netstack.IPPROTO_TCP:
+		b.WriteString(" -p tcp")
+	case netstack.IPPROTO_UDP:
+		b.WriteString(" -p udp")
+	}
+	if len(r.ICMPTypes) > 0 {
+		b.WriteString(fmt.Sprintf(" --icmp-type %v", r.ICMPTypes))
+	}
+	if len(r.DstPorts) > 0 {
+		b.WriteString(fmt.Sprintf(" --dports %v", r.DstPorts))
+	}
+	if r.UnprivRawOnly {
+		b.WriteString(" -m unprivraw")
+	}
+	if r.SpoofedOnly {
+		b.WriteString(" -m spoofed")
+	}
+	if r.Verdict == Drop {
+		b.WriteString(" -j DROP")
+	} else {
+		b.WriteString(" -j ACCEPT")
+	}
+	if r.Name != "" {
+		b.WriteString(" # " + r.Name)
+	}
+	return b.String()
+}
+
+// Chain is an ordered rule list with a default policy.
+type Chain struct {
+	Name   string
+	Policy Verdict
+	rules  []*Rule
+}
+
+// Table is a set of chains; the simulation uses a single "filter" table
+// with an OUTPUT chain, which is all the Protego extension requires.
+type Table struct {
+	mu     sync.RWMutex
+	chains map[string]*Chain
+
+	// Matched counts rule hits for observability.
+	Matched map[string]int
+}
+
+// NewTable creates a filter table with an empty, accept-by-default OUTPUT
+// chain.
+func NewTable() *Table {
+	t := &Table{
+		chains:  make(map[string]*Chain),
+		Matched: make(map[string]int),
+	}
+	t.chains["OUTPUT"] = &Chain{Name: "OUTPUT", Policy: Accept}
+	return t
+}
+
+// Append adds a rule to the end of chain.
+func (t *Table) Append(chain string, r *Rule) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chains[chain]
+	if !ok {
+		return fmt.Errorf("netfilter: no chain %q", chain)
+	}
+	c.rules = append(c.rules, r)
+	return nil
+}
+
+// Flush removes all rules from chain.
+func (t *Table) Flush(chain string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chains[chain]
+	if !ok {
+		return fmt.Errorf("netfilter: no chain %q", chain)
+	}
+	c.rules = nil
+	return nil
+}
+
+// SetPolicy changes the default verdict of chain.
+func (t *Table) SetPolicy(chain string, v Verdict) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.chains[chain]
+	if !ok {
+		return fmt.Errorf("netfilter: no chain %q", chain)
+	}
+	c.Policy = v
+	return nil
+}
+
+// Rules returns a snapshot of chain's rules.
+func (t *Table) Rules(chain string) []*Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.chains[chain]
+	if !ok {
+		return nil
+	}
+	out := make([]*Rule, len(c.rules))
+	copy(out, c.rules)
+	return out
+}
+
+// Output implements netstack.OutputFilter: the first matching rule's
+// verdict applies; otherwise the chain policy.
+func (t *Table) Output(pkt *netstack.Packet) Verdict {
+	t.mu.RLock()
+	c := t.chains["OUTPUT"]
+	rules := c.rules
+	policy := c.Policy
+	t.mu.RUnlock()
+	for _, r := range rules {
+		if r.matches(pkt) {
+			t.mu.Lock()
+			t.Matched[r.Name]++
+			t.mu.Unlock()
+			return r.Verdict
+		}
+	}
+	return policy
+}
+
+// List renders the whole table in iptables -S style.
+func (t *Table) List() string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var b strings.Builder
+	for name, c := range t.chains {
+		pol := "ACCEPT"
+		if c.Policy == Drop {
+			pol = "DROP"
+		}
+		fmt.Fprintf(&b, "-P %s %s\n", name, pol)
+		for _, r := range c.rules {
+			b.WriteString(r.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ProtegoDefaultRules returns the default OUTPUT ruleset Protego installs
+// for unprivileged raw sockets, mined from the studied setuid binaries
+// (ping, traceroute, arping, mtr): benign ICMP is allowed; raw packets that
+// forge another socket's TCP/UDP source endpoint are dropped; all other
+// unprivileged raw TCP/UDP fabrication is dropped. Non-raw traffic is
+// untouched.
+func ProtegoDefaultRules() []*Rule {
+	return []*Rule{
+		{
+			Name:        "drop-spoofed-raw",
+			RawOnly:     true,
+			SpoofedOnly: true,
+			Proto:       AnyProto,
+			Verdict:     Drop,
+		},
+		{
+			Name:          "allow-unpriv-icmp-echo",
+			UnprivRawOnly: true,
+			Proto:         netstack.IPPROTO_ICMP,
+			ICMPTypes:     []int{netstack.ICMPEchoRequest, netstack.ICMPEchoReply},
+			Verdict:       Accept,
+		},
+		{
+			Name:          "allow-unpriv-udp-probe",
+			UnprivRawOnly: true,
+			Proto:         netstack.IPPROTO_UDP,
+			DstPorts:      traceroutePorts(),
+			Verdict:       Accept,
+		},
+		{
+			Name:          "drop-unpriv-raw-tcp",
+			UnprivRawOnly: true,
+			Proto:         netstack.IPPROTO_TCP,
+			Verdict:       Drop,
+		},
+		{
+			Name:          "drop-unpriv-raw-udp",
+			UnprivRawOnly: true,
+			Proto:         netstack.IPPROTO_UDP,
+			Verdict:       Drop,
+		},
+		{
+			Name:          "drop-unpriv-raw-other",
+			UnprivRawOnly: true,
+			Proto:         netstack.IPPROTO_RAW,
+			Verdict:       Drop,
+		},
+	}
+}
+
+// traceroutePorts returns the classic UDP probe port range used by
+// traceroute (33434–33523), which the default policy whitelists.
+func traceroutePorts() []int {
+	ports := make([]int, 0, 90)
+	for p := 33434; p <= 33523; p++ {
+		ports = append(ports, p)
+	}
+	return ports
+}

@@ -1,0 +1,348 @@
+// Package netstack implements the simulated network substrate: interfaces,
+// a routing table with conflict detection (the object-based policy pppd
+// needs), TCP/UDP/raw/packet sockets with port ownership, ICMP echo, and a
+// netfilter-style output hook. The Protego raw-socket policy (§4.1.1) and
+// privileged-port policy (§4.1.3) are enforced against this stack.
+package netstack
+
+import (
+	"fmt"
+	"sync"
+
+	"protego/internal/errno"
+)
+
+// Address families and socket types, mirroring the Linux constants used by
+// the utilities in the study.
+const (
+	AF_UNIX   = 1
+	AF_INET   = 2
+	AF_PACKET = 17
+
+	SOCK_STREAM = 1
+	SOCK_DGRAM  = 2
+	SOCK_RAW    = 3
+
+	IPPROTO_IP   = 0
+	IPPROTO_ICMP = 1
+	IPPROTO_TCP  = 6
+	IPPROTO_UDP  = 17
+	IPPROTO_RAW  = 255
+)
+
+// ICMP message types used by ping and traceroute.
+const (
+	ICMPEchoReply    = 0
+	ICMPEchoRequest  = 8
+	ICMPTimeExceeded = 11
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// IPv4 builds an IP from dotted-quad components.
+func IPv4(a, b, c, d byte) IP {
+	return IP(a)<<24 | IP(b)<<16 | IP(c)<<8 | IP(d)
+}
+
+// String renders the address in dotted-quad form.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (IP, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, errno.EINVAL
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return 0, errno.EINVAL
+		}
+	}
+	return IPv4(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+// Packet is a network datagram traversing the stack.
+type Packet struct {
+	Src, Dst IP
+	Proto    int // IPPROTO_*
+	SrcPort  int
+	DstPort  int
+	ICMPType int
+	TTL      int
+	Payload  []byte
+
+	// Metadata consumed by the output filter (netfilter). FromRaw marks
+	// packets written through a raw or packet socket; UnprivRaw marks
+	// those from sockets created *without* CAP_NET_RAW under the Protego
+	// relaxation; SpoofedSource marks raw packets whose claimed TCP/UDP
+	// source endpoint belongs to a socket owned by someone else.
+	FromRaw       bool
+	UnprivRaw     bool
+	SenderUID     int
+	SpoofedSource bool
+}
+
+// Verdict is the outcome of the output filter.
+type Verdict int
+
+// Filter verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+// OutputFilter is the netfilter hook on the IP output path. A nil filter
+// accepts everything.
+type OutputFilter interface {
+	Output(pkt *Packet) Verdict
+}
+
+// Iface is a network interface. Modem interfaces model the PPP hardware
+// pppd configures through privileged ioctls.
+type Iface struct {
+	Name  string
+	Addr  IP
+	Up    bool
+	Modem bool
+	InUse bool // a modem in use may not be reconfigured by another user
+	Owner int  // uid using the modem
+	// Session parameters configurable by unprivileged users under the
+	// Protego ppp policy ("safe options": compression etc.).
+	Params map[string]string
+}
+
+// Route is a routing table entry. PrefixLen expresses the netmask.
+type Route struct {
+	Dest      IP
+	PrefixLen int
+	Gateway   IP
+	Iface     string
+	Metric    int
+	CreatedBy int // uid that installed the route
+}
+
+// mask returns the netmask implied by PrefixLen.
+func (r Route) mask() IP {
+	if r.PrefixLen <= 0 {
+		return 0
+	}
+	if r.PrefixLen >= 32 {
+		return ^IP(0)
+	}
+	return ^IP(0) << (32 - r.PrefixLen)
+}
+
+// Matches reports whether ip falls inside the route's destination prefix.
+func (r Route) Matches(ip IP) bool {
+	return ip&r.mask() == r.Dest&r.mask()
+}
+
+// Overlaps reports whether two routes' destination prefixes intersect —
+// the conflict check Protego performs before letting an unprivileged pppd
+// add a route (§4.1.2).
+func (r Route) Overlaps(o Route) bool {
+	short := r
+	long := o
+	if o.PrefixLen < r.PrefixLen {
+		short, long = o, r
+	}
+	return long.Dest&short.mask() == short.Dest&short.mask()
+}
+
+// String renders the route like the output of `ip route`.
+func (r Route) String() string {
+	return fmt.Sprintf("%s/%d via %s dev %s metric %d", r.Dest, r.PrefixLen, r.Gateway, r.Iface, r.Metric)
+}
+
+type portKey struct {
+	proto int
+	port  int
+}
+
+// Socket is a communication endpoint.
+type Socket struct {
+	ID     int
+	Family int
+	Type   int
+	Proto  int
+
+	LocalIP    IP
+	LocalPort  int
+	RemoteIP   IP
+	RemotePort int
+
+	// Owner identity for object-based policies ((binary, uid) pairs).
+	OwnerUID    int
+	OwnerBinary string
+
+	// UnprivRaw marks a raw/packet socket created without CAP_NET_RAW;
+	// the Protego netfilter extension subjects its traffic to filtering.
+	UnprivRaw bool
+
+	stack     *Stack
+	recvQ     chan *Packet
+	acceptQ   chan *Socket
+	peer      *Socket
+	listening bool
+	connected bool
+	closed    bool
+	mu        sync.Mutex
+}
+
+// Stack is a host network stack. Loopback delivery connects sockets on the
+// same stack; two stacks can be bridged with Link to model a two-machine
+// PPP setup.
+type Stack struct {
+	mu       sync.Mutex
+	hostIP   IP
+	ifaces   map[string]*Iface
+	routes   []Route
+	ports    map[portKey]*Socket
+	sockets  map[int]*Socket
+	nextSock int
+	filter   OutputFilter
+	linked   *Stack // simple point-to-point peer (PPP tests)
+
+	// Stats observable by tests and benchmarks.
+	SentPackets    int
+	DroppedPackets int
+}
+
+// NewStack creates a stack with a loopback interface and an eth0 interface
+// carrying hostIP.
+func NewStack(hostIP IP) *Stack {
+	s := &Stack{
+		hostIP:  hostIP,
+		ifaces:  make(map[string]*Iface),
+		ports:   make(map[portKey]*Socket),
+		sockets: make(map[int]*Socket),
+	}
+	s.ifaces["lo"] = &Iface{Name: "lo", Addr: IPv4(127, 0, 0, 1), Up: true, Params: map[string]string{}}
+	s.ifaces["eth0"] = &Iface{Name: "eth0", Addr: hostIP, Up: true, Params: map[string]string{}}
+	s.routes = []Route{
+		{Dest: IPv4(127, 0, 0, 0), PrefixLen: 8, Iface: "lo"},
+		{Dest: hostIP & IP(0xFFFFFF00), PrefixLen: 24, Iface: "eth0"},
+	}
+	return s
+}
+
+// HostIP returns the stack's primary address.
+func (s *Stack) HostIP() IP { return s.hostIP }
+
+// SetFilter installs the output packet filter (netfilter hook).
+func (s *Stack) SetFilter(f OutputFilter) {
+	s.mu.Lock()
+	s.filter = f
+	s.mu.Unlock()
+}
+
+// Link joins two stacks point-to-point so packets addressed to the peer's
+// host IP are delivered there (used by the PPP crossover-cable validation).
+func Link(a, b *Stack) {
+	a.mu.Lock()
+	a.linked = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.linked = a
+	b.mu.Unlock()
+}
+
+// AddIface registers an additional interface (e.g. a ppp modem device).
+func (s *Stack) AddIface(i *Iface) {
+	s.mu.Lock()
+	if i.Params == nil {
+		i.Params = map[string]string{}
+	}
+	s.ifaces[i.Name] = i
+	s.mu.Unlock()
+}
+
+// Iface returns the named interface or nil.
+func (s *Stack) Iface(name string) *Iface {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ifaces[name]
+}
+
+// Ifaces returns all interfaces.
+func (s *Stack) Ifaces() []*Iface {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Iface, 0, len(s.ifaces))
+	for _, i := range s.ifaces {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Routes returns a snapshot of the routing table.
+func (s *Stack) Routes() []Route {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Route, len(s.routes))
+	copy(out, s.routes)
+	return out
+}
+
+// RouteConflicts reports whether r overlaps any existing route — the
+// Protego route-integrity check.
+func (s *Stack) RouteConflicts(r Route) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.routes {
+		if existing.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// AddRoute installs a route without policy checks (the kernel/LSM layer is
+// responsible for mediation).
+func (s *Stack) AddRoute(r Route) {
+	s.mu.Lock()
+	s.routes = append(s.routes, r)
+	s.mu.Unlock()
+}
+
+// DelRoute removes the first route matching dest/prefix; it returns false
+// if no such route exists.
+func (s *Stack) DelRoute(dest IP, prefixLen int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.routes {
+		if r.Dest == dest && r.PrefixLen == prefixLen {
+			s.routes = append(s.routes[:i], s.routes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// lookupRoute finds the longest-prefix route for dst, or nil.
+func (s *Stack) lookupRoute(dst IP) *Route {
+	var best *Route
+	for i := range s.routes {
+		r := &s.routes[i]
+		if r.Matches(dst) && (best == nil || r.PrefixLen > best.PrefixLen) {
+			best = r
+		}
+	}
+	return best
+}
+
+// isLocal reports whether dst addresses this host.
+func (s *Stack) isLocal(dst IP) bool {
+	if dst == IPv4(127, 0, 0, 1) || dst == s.hostIP {
+		return true
+	}
+	for _, i := range s.ifaces {
+		if i.Up && i.Addr == dst {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BindEntry allocates one privileged TCP or UDP port to a single
+// application instance, identified by a (binary path, user) pair — the
+// object-based policy of §4.1.3. The policy file /etc/bind contains one
+// entry per line:
+//
+//	25  tcp  /usr/sbin/exim4   Debian-exim
+//	80  tcp  /usr/sbin/apache2 www-data
+//	514 udp  /usr/sbin/syslogd root
+type BindEntry struct {
+	Port   int
+	Proto  string // "tcp" or "udp"
+	Binary string
+	User   string // username, resolved to a uid by the monitoring daemon
+}
+
+// String renders the entry in /etc/bind format.
+func (e *BindEntry) String() string {
+	return fmt.Sprintf("%d %s %s %s", e.Port, e.Proto, e.Binary, e.User)
+}
+
+// ParseBind parses /etc/bind. Each privileged port may map to only one
+// application instance; duplicates are an error.
+func ParseBind(data string) ([]BindEntry, error) {
+	var entries []BindEntry
+	seen := make(map[string]bool)
+	for lineNo, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("bind line %d: expected 'port proto binary user', got %q", lineNo+1, line)
+		}
+		port, err := strconv.Atoi(fields[0])
+		if err != nil || port <= 0 || port >= 1024 {
+			return nil, fmt.Errorf("bind line %d: port must be in 1..1023, got %q", lineNo+1, fields[0])
+		}
+		proto := strings.ToLower(fields[1])
+		if proto != "tcp" && proto != "udp" {
+			return nil, fmt.Errorf("bind line %d: proto must be tcp or udp, got %q", lineNo+1, fields[1])
+		}
+		if !strings.HasPrefix(fields[2], "/") {
+			return nil, fmt.Errorf("bind line %d: binary must be an absolute path, got %q", lineNo+1, fields[2])
+		}
+		key := proto + "/" + fields[0]
+		if seen[key] {
+			return nil, fmt.Errorf("bind line %d: duplicate allocation of %s port %d", lineNo+1, proto, port)
+		}
+		seen[key] = true
+		entries = append(entries, BindEntry{Port: port, Proto: proto, Binary: fields[2], User: fields[3]})
+	}
+	return entries, nil
+}

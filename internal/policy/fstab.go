@@ -1,0 +1,103 @@
+// Package policy implements parsers for the legacy, policy-relevant
+// configuration files the paper's study identifies: /etc/fstab (user
+// mounts), /etc/sudoers and /etc/sudoers.d (delegation), /etc/bind
+// (privileged-port allocation), and /etc/ppp/options (PPP session policy),
+// plus the simple line-oriented grammar Protego uses on its /proc
+// configuration files. The monitoring daemon parses these files and pushes
+// the results into the kernel; administrators can also write the /proc
+// grammar directly.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FstabEntry is one line of /etc/fstab.
+type FstabEntry struct {
+	Device     string
+	MountPoint string
+	FSType     string
+	Options    []string
+	Dump       int
+	Pass       int
+}
+
+// HasOption reports whether the entry carries the named mount option.
+func (e *FstabEntry) HasOption(opt string) bool {
+	for _, o := range e.Options {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// UserMountable reports whether the administrator marked the entry
+// mountable by unprivileged users via the "user" or "users" option — the
+// operational constraint the mount utilities (and now the Protego LSM)
+// enforce.
+func (e *FstabEntry) UserMountable() bool {
+	return e.HasOption("user") || e.HasOption("users")
+}
+
+// AnyUserUnmountable reports whether any user may unmount the entry
+// ("users"), as opposed to only the user who mounted it ("user").
+func (e *FstabEntry) AnyUserUnmountable() bool { return e.HasOption("users") }
+
+// ReadOnly reports whether the entry mounts read-only.
+func (e *FstabEntry) ReadOnly() bool { return e.HasOption("ro") }
+
+// String renders the entry in fstab format.
+func (e *FstabEntry) String() string {
+	opts := strings.Join(e.Options, ",")
+	if opts == "" {
+		opts = "defaults"
+	}
+	return fmt.Sprintf("%s %s %s %s %d %d", e.Device, e.MountPoint, e.FSType, opts, e.Dump, e.Pass)
+}
+
+// ParseFstab parses the contents of /etc/fstab. Blank lines and #-comments
+// are skipped; short lines are an error (a malformed fstab must not
+// silently widen the mount whitelist).
+func ParseFstab(data string) ([]FstabEntry, error) {
+	var entries []FstabEntry
+	for lineNo, line := range strings.Split(data, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("fstab line %d: expected at least 4 fields, got %d", lineNo+1, len(fields))
+		}
+		e := FstabEntry{
+			Device:     fields[0],
+			MountPoint: fields[1],
+			FSType:     fields[2],
+		}
+		for _, opt := range strings.Split(fields[3], ",") {
+			opt = strings.TrimSpace(opt)
+			if opt != "" && opt != "defaults" {
+				e.Options = append(e.Options, opt)
+			}
+		}
+		if len(fields) > 4 {
+			n, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("fstab line %d: bad dump field %q", lineNo+1, fields[4])
+			}
+			e.Dump = n
+		}
+		if len(fields) > 5 {
+			n, err := strconv.Atoi(fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("fstab line %d: bad pass field %q", lineNo+1, fields[5])
+			}
+			e.Pass = n
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

@@ -1,0 +1,439 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// --- fstab ---
+
+func TestParseFstabBasic(t *testing.T) {
+	entries, err := ParseFstab(`
+# comment
+/dev/sda1  /            ext4     defaults          0 1
+/dev/cdrom /cdrom       iso9660  ro,user,noauto    0 0
+
+/dev/sdb1  /media/usb   vfat     rw,users          0 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	rootfs := entries[0]
+	if rootfs.Device != "/dev/sda1" || rootfs.MountPoint != "/" || rootfs.FSType != "ext4" {
+		t.Fatalf("root entry: %+v", rootfs)
+	}
+	if len(rootfs.Options) != 0 {
+		t.Fatalf("'defaults' should yield no options: %v", rootfs.Options)
+	}
+	if rootfs.Pass != 1 {
+		t.Fatalf("pass = %d", rootfs.Pass)
+	}
+	if rootfs.UserMountable() {
+		t.Fatal("root fs should not be user-mountable")
+	}
+	cdrom := entries[1]
+	if !cdrom.UserMountable() || cdrom.AnyUserUnmountable() {
+		t.Fatalf("cdrom options: %+v", cdrom)
+	}
+	if !cdrom.ReadOnly() {
+		t.Fatal("cdrom should be ro")
+	}
+	usb := entries[2]
+	if !usb.UserMountable() || !usb.AnyUserUnmountable() {
+		t.Fatalf("usb options: %+v", usb)
+	}
+	if usb.Dump != 0 || usb.Pass != 2 {
+		t.Fatalf("usb dump/pass: %+v", usb)
+	}
+}
+
+func TestParseFstabErrors(t *testing.T) {
+	cases := []string{
+		"/dev/sda1 / ext4",            // too few fields
+		"/dev/sda1 / ext4 defaults x", // bad dump
+		"/dev/sda1 / ext4 rw 0 x",     // bad pass
+	}
+	for _, in := range cases {
+		if _, err := ParseFstab(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestFstabRoundTrip(t *testing.T) {
+	e := FstabEntry{Device: "/dev/cdrom", MountPoint: "/cdrom", FSType: "iso9660",
+		Options: []string{"ro", "user"}, Pass: 2}
+	parsed, err := ParseFstab(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Device != e.Device || !parsed[0].UserMountable() || parsed[0].Pass != 2 {
+		t.Fatalf("round trip: %+v", parsed)
+	}
+}
+
+// Property: parsing never panics and every returned entry has non-empty
+// device/mountpoint/fstype fields.
+func TestParseFstabProperty(t *testing.T) {
+	f := func(lines []string) bool {
+		entries, err := ParseFstab(strings.Join(lines, "\n"))
+		if err != nil {
+			return true
+		}
+		for _, e := range entries {
+			if e.Device == "" || e.MountPoint == "" || e.FSType == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- sudoers ---
+
+const sampleSudoers = `
+Defaults env_keep = "TERM LANG"
+Defaults timestamp_timeout = 10
+User_Alias ADMINS = alice, dave
+Cmnd_Alias PRINT = /usr/bin/lpr, /usr/bin/lpq
+Runas_Alias OPERATORS = backup, archive
+
+root    ALL = (ALL) ALL
+ADMINS  ALL = (root) ALL
+%wheel  ALL = (root) NOPASSWD: /bin/ls, /usr/bin/stat
+bob     ALL = (alice) PRINT
+carol   ALL = (OPERATORS) NOPASSWD: /usr/local/bin/backup.sh
+eve     ALL = (root) SETENV: /bin/true
+frank   ALL = (root) /usr/sbin/
+`
+
+func TestParseSudoers(t *testing.T) {
+	s, err := ParseSudoers(sampleSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 7 {
+		t.Fatalf("rules = %d", len(s.Rules))
+	}
+	if s.TimestampTimeout != 10*time.Minute {
+		t.Fatalf("timeout = %v", s.TimestampTimeout)
+	}
+	if len(s.EnvKeep) != 2 || s.EnvKeep[0] != "TERM" {
+		t.Fatalf("env_keep = %v", s.EnvKeep)
+	}
+	if got := s.UserAliases["ADMINS"]; len(got) != 2 || got[1] != "dave" {
+		t.Fatalf("ADMINS = %v", got)
+	}
+}
+
+func TestSudoersLookupTransition(t *testing.T) {
+	s, err := ParseSudoers(sampleSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		user   string
+		groups []string
+		target string
+		want   bool
+		noPw   bool
+		anyCmd bool
+	}{
+		{"root", nil, "anyone", true, false, true},
+		{"alice", nil, "root", true, false, true}, // via ADMINS alias
+		{"dave", nil, "root", true, false, true},  // via ADMINS alias
+		{"zed", []string{"wheel"}, "root", true, true, false},
+		{"bob", nil, "alice", true, false, false},
+		{"bob", nil, "root", false, false, false},
+		{"carol", nil, "backup", true, true, false}, // via Runas_Alias
+		{"carol", nil, "archive", true, true, false},
+		{"carol", nil, "root", false, false, false},
+		{"mallory", nil, "root", false, false, false},
+	}
+	for _, c := range cases {
+		g, ok := s.LookupTransition(c.user, c.groups, c.target)
+		if ok != c.want {
+			t.Errorf("%s->%s: ok=%v want %v", c.user, c.target, ok, c.want)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if g.NoPasswd != c.noPw {
+			t.Errorf("%s->%s: NoPasswd=%v want %v", c.user, c.target, g.NoPasswd, c.noPw)
+		}
+		if g.AnyCommand != c.anyCmd {
+			t.Errorf("%s->%s: AnyCommand=%v want %v", c.user, c.target, g.AnyCommand, c.anyCmd)
+		}
+	}
+}
+
+func TestSudoersLookupCommand(t *testing.T) {
+	s, err := ParseSudoers(sampleSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		user, target, cmd string
+		groups            []string
+		want              bool
+	}{
+		{"bob", "alice", "/usr/bin/lpr", nil, true}, // via Cmnd_Alias
+		{"bob", "alice", "/usr/bin/lpq", nil, true},
+		{"bob", "alice", "/bin/rm", nil, false},
+		{"zed", "root", "/bin/ls", []string{"wheel"}, true},
+		{"zed", "root", "/bin/cat", []string{"wheel"}, false},
+		{"alice", "root", "/anything/at/all", nil, true},
+		{"frank", "root", "/usr/sbin/service", nil, true}, // directory spec
+		{"frank", "root", "/usr/bin/service", nil, false},
+	}
+	for _, c := range cases {
+		_, ok := s.LookupCommand(c.user, c.groups, c.target, c.cmd)
+		if ok != c.want {
+			t.Errorf("%s->%s %s: ok=%v want %v", c.user, c.target, c.cmd, ok, c.want)
+		}
+	}
+}
+
+func TestSudoersSanitizeEnv(t *testing.T) {
+	s, err := ParseSudoers(sampleSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]string{
+		"TERM": "xterm", "LANG": "C", "LD_PRELOAD": "/tmp/evil.so", "IFS": ".",
+	}
+	g, ok := s.LookupCommand("bob", nil, "alice", "/usr/bin/lpr")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	clean := s.SanitizeEnv(env, g)
+	if _, ok := clean["LD_PRELOAD"]; ok {
+		t.Fatal("LD_PRELOAD survived sanitization")
+	}
+	if clean["TERM"] != "xterm" {
+		t.Fatalf("TERM lost: %v", clean)
+	}
+	// SETENV rules keep everything.
+	gEve, ok := s.LookupCommand("eve", nil, "root", "/bin/true")
+	if !ok {
+		t.Fatal("eve lookup failed")
+	}
+	dirty := s.SanitizeEnv(env, gEve)
+	if dirty["LD_PRELOAD"] != "/tmp/evil.so" {
+		t.Fatal("SETENV rule should keep env")
+	}
+}
+
+func TestSudoersParseErrors(t *testing.T) {
+	cases := []string{
+		"alice ALL (root) ALL",       // missing '='
+		"alice = (root) ALL",         // missing host
+		"alice ALL = (root ALL",      // unclosed runas
+		"alice ALL = (root)",         // no commands
+		"User_Alias lower = alice",   // lower-case alias
+		"Cmnd_Alias X =",             // empty alias
+		"Defaults env_keep \"TERM\"", // malformed env_keep
+		"Defaults timestamp_timeout = x",
+	}
+	for _, in := range cases {
+		if _, err := ParseSudoers(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestSudoersLineContinuation(t *testing.T) {
+	s, err := ParseSudoers("alice ALL = (root) /bin/a, \\\n /bin/b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rules) != 1 || len(s.Rules[0].Commands) != 2 {
+		t.Fatalf("rules: %+v", s.Rules)
+	}
+}
+
+func TestSudoersDefaultTimeout(t *testing.T) {
+	s, err := ParseSudoers("alice ALL = (root) ALL\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TimestampTimeout != DefaultTimestampTimeout {
+		t.Fatalf("timeout = %v", s.TimestampTimeout)
+	}
+}
+
+// Property: parser never panics; rules that parse always have user, host,
+// at least one runas, and at least one command.
+func TestSudoersProperty(t *testing.T) {
+	f := func(lines []string) bool {
+		s, err := ParseSudoers(strings.Join(lines, "\n"))
+		if err != nil {
+			return true
+		}
+		for _, r := range s.Rules {
+			if r.User == "" || r.Host == "" || len(r.RunAs) == 0 || len(r.Commands) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- /etc/bind ---
+
+func TestParseBind(t *testing.T) {
+	entries, err := ParseBind(`
+# mail
+25 tcp /usr/sbin/exim4 Debian-exim
+80 tcp /usr/sbin/httpd www-data
+514 udp /usr/sbin/syslogd root
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Port != 25 || entries[0].Proto != "tcp" || entries[0].User != "Debian-exim" {
+		t.Fatalf("entry: %+v", entries[0])
+	}
+	if entries[2].Proto != "udp" {
+		t.Fatalf("entry: %+v", entries[2])
+	}
+}
+
+func TestParseBindErrors(t *testing.T) {
+	cases := []string{
+		"25 tcp /usr/sbin/exim4",   // missing user
+		"0 tcp /x u",               // port 0
+		"1024 tcp /x u",            // not privileged
+		"25 sctp /x u",             // bad proto
+		"25 tcp relative/path u",   // relative binary
+		"25 tcp /a u\n25 tcp /b v", // duplicate allocation
+	}
+	for _, in := range cases {
+		if _, err := ParseBind(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestBindSamePortDifferentProto(t *testing.T) {
+	entries, err := ParseBind("53 tcp /usr/sbin/named bind\n53 udp /usr/sbin/named bind\n")
+	if err != nil {
+		t.Fatalf("tcp+udp on same port should be fine: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+}
+
+func TestBindEntryString(t *testing.T) {
+	e := BindEntry{Port: 25, Proto: "tcp", Binary: "/usr/sbin/exim4", User: "mail"}
+	if e.String() != "25 tcp /usr/sbin/exim4 mail" {
+		t.Fatalf("string: %q", e.String())
+	}
+}
+
+// --- ppp options ---
+
+func TestParsePPPOptions(t *testing.T) {
+	o, err := ParsePPPOptions(`
+# policy
+device /dev/ppp
+user-routes
+safe-param vj-max-slots
+asyncmap 0
+noauth
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.AllowUserRoutes {
+		t.Fatal("user-routes not parsed")
+	}
+	if !o.DeviceAllowed("/dev/ppp") || o.DeviceAllowed("/dev/ttyS0") {
+		t.Fatalf("devices: %v", o.Devices)
+	}
+	if !o.ParamSafe("vj-max-slots") || !o.ParamSafe("bsdcomp") {
+		t.Fatal("safe params missing")
+	}
+	if o.ParamSafe("defaultroute") {
+		t.Fatal("defaultroute must not be safe")
+	}
+}
+
+func TestParsePPPOptionsErrors(t *testing.T) {
+	cases := []string{
+		"safe-param",            // missing name
+		"device relative",       // relative device
+		"some option with args", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ParsePPPOptions(in); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestDefaultPPPOptions(t *testing.T) {
+	o := DefaultPPPOptions()
+	if o.AllowUserRoutes {
+		t.Fatal("routes must default off")
+	}
+	if len(o.Devices) != 0 {
+		t.Fatal("devices must default empty")
+	}
+}
+
+// --- proc grammar ---
+
+func TestParseProcCommands(t *testing.T) {
+	cmds, err := ParseProcCommands([]byte(`
+# setup
+clear
+add /dev/cdrom /cdrom iso9660 ro user
+del /dev/cdrom /cdrom
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("cmds = %d", len(cmds))
+	}
+	if cmds[0].Verb != "clear" || cmds[1].Verb != "add" || cmds[2].Verb != "del" {
+		t.Fatalf("verbs: %+v", cmds)
+	}
+	if len(cmds[1].Args) != 5 {
+		t.Fatalf("add args: %v", cmds[1].Args)
+	}
+}
+
+func TestParseProcCommandsErrors(t *testing.T) {
+	cases := []string{"add", "del", "clear x", "frobnicate a b"}
+	for _, in := range cases {
+		if _, err := ParseProcCommands([]byte(in)); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestFormatProcAdd(t *testing.T) {
+	line := FormatProcAdd("25", "tcp", "/usr/sbin/exim4", "101")
+	cmds, err := ParseProcCommands([]byte(line))
+	if err != nil || len(cmds) != 1 || cmds[0].Verb != "add" || len(cmds[0].Args) != 4 {
+		t.Fatalf("round trip: %v %v", cmds, err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package survey reproduces the installation-statistics analyses of the
+// paper: Table 3 (the 20 most frequently installed packages containing
+// setuid-to-root binaries, from the Debian and Ubuntu popularity-contest
+// surveys of February 2013) and Table 8 (the remaining 67 packages' 91
+// binaries grouped by the interface that requires privilege). The
+// per-distribution percentages are the paper's published inputs; the
+// weighted averages are recomputed here and checked against the published
+// column in tests.
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Survey population sizes (§3.3).
+const (
+	UbuntuSystems = 2502647
+	DebianSystems = 134020
+)
+
+// PackageStat is one row of Table 3.
+type PackageStat struct {
+	Name      string
+	UbuntuPct float64
+	DebianPct float64
+	// PaperWtAvg is the weighted average as published, for validation.
+	PaperWtAvg float64
+	// Investigated marks packages fully covered by the §4 study
+	// ("We have completely investigated all popular packages through
+	// ecryptfs-utils").
+	Investigated bool
+}
+
+// WeightedAvg recomputes the installation share weighted by the number of
+// reporting systems in each survey.
+func (p *PackageStat) WeightedAvg() float64 {
+	total := float64(UbuntuSystems + DebianSystems)
+	return (p.UbuntuPct*UbuntuSystems + p.DebianPct*DebianSystems) / total
+}
+
+// Table3 is the paper's Table 3 input data.
+var Table3 = []PackageStat{
+	{Name: "mount", UbuntuPct: 100.00, DebianPct: 99.75, PaperWtAvg: 99.99, Investigated: true},
+	{Name: "login", UbuntuPct: 99.99, DebianPct: 99.82, PaperWtAvg: 99.98, Investigated: true},
+	{Name: "passwd", UbuntuPct: 99.97, DebianPct: 99.84, PaperWtAvg: 99.97, Investigated: true},
+	{Name: "iputils-ping", UbuntuPct: 99.87, DebianPct: 99.60, PaperWtAvg: 99.85, Investigated: true},
+	{Name: "openssh-client", UbuntuPct: 99.54, DebianPct: 99.48, PaperWtAvg: 99.53, Investigated: true},
+	{Name: "eject", UbuntuPct: 99.68, DebianPct: 90.95, PaperWtAvg: 99.24, Investigated: true},
+	{Name: "sudo", UbuntuPct: 99.48, DebianPct: 74.34, PaperWtAvg: 98.21, Investigated: true},
+	{Name: "ppp", UbuntuPct: 99.54, DebianPct: 45.65, PaperWtAvg: 96.81, Investigated: true},
+	{Name: "iputils-tracepath", UbuntuPct: 99.78, DebianPct: 13.06, PaperWtAvg: 95.39, Investigated: true},
+	{Name: "mtr-tiny", UbuntuPct: 99.54, DebianPct: 11.79, PaperWtAvg: 95.10, Investigated: true},
+	{Name: "iputils-arping", UbuntuPct: 99.60, DebianPct: 3.55, PaperWtAvg: 94.74, Investigated: true},
+	{Name: "libc-bin", UbuntuPct: 50.14, DebianPct: 86.15, PaperWtAvg: 51.96, Investigated: true},
+	{Name: "fping", UbuntuPct: 27.70, DebianPct: 12.42, PaperWtAvg: 26.92, Investigated: true},
+	{Name: "nfs-common", UbuntuPct: 9.76, DebianPct: 82.89, PaperWtAvg: 13.46, Investigated: true},
+	{Name: "ecryptfs-utils", UbuntuPct: 11.64, DebianPct: 0.72, PaperWtAvg: 11.08, Investigated: true},
+	{Name: "virtualbox", UbuntuPct: 10.56, DebianPct: 7.78, PaperWtAvg: 10.41},
+	{Name: "kppp", UbuntuPct: 10.11, DebianPct: 4.97, PaperWtAvg: 9.85},
+	{Name: "cifs-utils", UbuntuPct: 2.59, DebianPct: 19.23, PaperWtAvg: 3.43},
+	{Name: "tcptraceroute", UbuntuPct: 0.33, DebianPct: 23.38, PaperWtAvg: 1.50},
+	{Name: "chromium-browser", UbuntuPct: 0.48, DebianPct: 8.49, PaperWtAvg: 0.89},
+}
+
+// Headline statistics reported in Tables 1 and 3 and §3.3.
+const (
+	// TotalSetuidPackages is the number of Debian/Ubuntu packages
+	// containing setuid-to-root binaries (Lintian, Feb 2013).
+	TotalSetuidPackages = 82
+	// CoveragePct is the paper's estimate of surveyed systems whose
+	// complete setuid set the study covers (Table 1). It derives from
+	// per-system package sets that the published marginals cannot
+	// reconstruct, so it is carried as a published constant and
+	// cross-checked for plausibility in tests.
+	CoveragePct = 89.5
+	// RemainingPackages / RemainingBinaries are the long tail of §5.4.
+	RemainingPackages = 67
+	RemainingBinaries = 91
+)
+
+// FormatTable3 renders the recomputed Table 3.
+func FormatTable3() string {
+	var b strings.Builder
+	b.WriteString("Table 3: Percent of systems installing setuid-to-root packages\n")
+	fmt.Fprintf(&b, "%-20s %10s %10s %12s %12s\n", "Package", "Ubuntu(%)", "Debian(%)", "Wt.Avg(%)", "Paper(%)")
+	for i := range Table3 {
+		p := &Table3[i]
+		fmt.Fprintf(&b, "%-20s %10.2f %10.2f %12.2f %12.2f\n",
+			p.Name, p.UbuntuPct, p.DebianPct, p.WeightedAvg(), p.PaperWtAvg)
+	}
+	fmt.Fprintf(&b, "\nSurveyed systems: %d Ubuntu + %d Debian\n", UbuntuSystems, DebianSystems)
+	fmt.Fprintf(&b, "Investigated through ecryptfs-utils: ~%.1f%% of systems fully covered\n", CoveragePct)
+	return b.String()
+}
+
+// InterfaceGroup is one row of Table 8: remaining setuid binaries grouped
+// by the interface that requires privilege.
+type InterfaceGroup struct {
+	Interface string
+	Binaries  int
+	// Addressed reports whether Protego's existing mechanisms already
+	// cover the interface (77 of 91 binaries); the rest need future
+	// work (§5.4).
+	Addressed bool
+	// Note summarizes the path to deprivileging.
+	Note string
+}
+
+// Table8 is the paper's Table 8 plus the §5.4 breakdown of the 14
+// remaining binaries.
+var Table8 = []InterfaceGroup{
+	{Interface: "socket", Binaries: 14, Addressed: true, Note: "raw-socket policy (§4.1.1)"},
+	{Interface: "bind", Binaries: 23, Addressed: true, Note: "port allocation table (§4.1.3)"},
+	{Interface: "mount", Binaries: 3, Addressed: true, Note: "mount whitelist (§4.2)"},
+	{Interface: "setuid, setgid", Binaries: 24, Addressed: true, Note: "delegation rules (§4.3)"},
+	{Interface: "video driver control state", Binaries: 13, Addressed: true, Note: "KMS (§4.5)"},
+	{Interface: "chroot/namespace", Binaries: 6, Addressed: false, Note: "unprivileged namespaces in Linux >= 3.8"},
+	{Interface: "miscellaneous", Binaries: 8, Addressed: false, Note: "3 system administration, 5 custom virtualbox device"},
+}
+
+// AddressedBinaries counts long-tail binaries already covered by Protego
+// interfaces.
+func AddressedBinaries() int {
+	n := 0
+	for _, g := range Table8 {
+		if g.Addressed {
+			n += g.Binaries
+		}
+	}
+	return n
+}
+
+// TotalTable8Binaries counts all long-tail binaries.
+func TotalTable8Binaries() int {
+	n := 0
+	for _, g := range Table8 {
+		n += g.Binaries
+	}
+	return n
+}
+
+// FormatTable8 renders Table 8.
+func FormatTable8() string {
+	var b strings.Builder
+	b.WriteString("Table 8: Interfaces used by setuid binaries outside the Section 4 study\n")
+	fmt.Fprintf(&b, "%-30s %10s  %s\n", "Interface", "Binaries", "Status")
+	for _, g := range Table8 {
+		status := "addressed by Protego"
+		if !g.Addressed {
+			status = "future work"
+		}
+		fmt.Fprintf(&b, "%-30s %10d  %s (%s)\n", g.Interface, g.Binaries, status, g.Note)
+	}
+	fmt.Fprintf(&b, "\n%d/%d binaries use interfaces Protego already mediates\n",
+		AddressedBinaries(), TotalTable8Binaries())
+	return b.String()
+}
+
+// SortedByWeight returns Table 3 sorted by recomputed weighted average,
+// descending — the paper's presentation order.
+func SortedByWeight() []PackageStat {
+	out := append([]PackageStat(nil), Table3...)
+	sort.Slice(out, func(i, j int) bool { return out[i].WeightedAvg() > out[j].WeightedAvg() })
+	return out
+}

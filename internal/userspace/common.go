@@ -1,0 +1,141 @@
+// Package userspace reimplements the setuid-to-root command-line utilities
+// of the paper's study as simulated programs: mount, umount, fusermount,
+// ping, traceroute, arping, mtr, sudo, sudoedit, su, newgrp, gpasswd,
+// passwd, chsh, chfn, vipw, login, pppd, exim, dmcrypt-get-device,
+// ssh-keysign, and an X-server stand-in. Each program runs in two worlds:
+//
+//   - Baseline Linux: the binary's inode carries the setuid bit, so the
+//     program executes with euid 0 and enforces the relevant policy itself
+//     (reading /etc/fstab, /etc/sudoers, shadow files, ...), dropping
+//     privilege when it can. This is the trusted-binary model whose 40
+//     historical privilege escalations Table 6 catalogs.
+//
+//   - Protego: the setuid bit is absent. The program runs with the
+//     invoking user's credentials and simply issues system calls; the
+//     kernel's Protego LSM enforces the equivalent policy. The only code
+//     difference, as in the paper (Table 2), is the removal of hard-coded
+//     "must be root" checks.
+//
+// The exploit-injection hook models a compromised utility: when the
+// environment carries PROTEGO_EXPLOIT, the program invokes the attacker
+// payload at the point where historical vulnerabilities executed —
+// *after* privilege elevation on the baseline.
+package userspace
+
+import (
+	"strings"
+
+	"protego/internal/accountdb"
+	"protego/internal/kernel"
+)
+
+// Binary paths, as installed by the world builder.
+const (
+	BinMount      = "/bin/mount"
+	BinUmount     = "/bin/umount"
+	BinFusermount = "/bin/fusermount"
+	BinPing       = "/bin/ping"
+	BinTraceroute = "/usr/bin/traceroute"
+	BinArping     = "/usr/bin/arping"
+	BinMtr        = "/usr/bin/mtr"
+	BinSudo       = "/usr/bin/sudo"
+	BinSudoedit   = "/usr/bin/sudoedit"
+	BinSu         = "/bin/su"
+	BinNewgrp     = "/usr/bin/newgrp"
+	BinGpasswd    = "/usr/bin/gpasswd"
+	BinPasswd     = "/usr/bin/passwd"
+	BinChsh       = "/usr/bin/chsh"
+	BinChfn       = "/usr/bin/chfn"
+	BinVipw       = "/usr/sbin/vipw"
+	BinLogin      = "/bin/login"
+	BinPppd       = "/usr/sbin/pppd"
+	BinExim       = "/usr/sbin/exim4"
+	BinDmcrypt    = "/sbin/dmcrypt-get-device"
+	BinSSHKeysign = "/usr/lib/ssh-keysign"
+	BinXserver    = "/usr/bin/X"
+	BinSh         = "/bin/sh"
+	BinID         = "/usr/bin/id"
+	BinLs         = "/bin/ls"
+	BinLpr        = "/usr/bin/lpr"
+	BinIptables   = "/sbin/iptables"
+)
+
+// ExploitEnv is the environment variable that triggers the injected
+// exploit payload inside a utility (the simulation of "an attacker
+// exploits an input parsing bug").
+const ExploitEnv = "PROTEGO_EXPLOIT"
+
+// ExploitHook is invoked by a utility at its injection point when
+// ExploitEnv is set. The exploits package installs it; the payload runs
+// with whatever credentials the process holds at that moment, which is the
+// entire point of the Table 6 evaluation.
+var ExploitHook func(k *kernel.Kernel, t *kernel.Task, cve string)
+
+// maybeExploit fires the injected payload if one is armed.
+func maybeExploit(k *kernel.Kernel, t *kernel.Task) {
+	if ExploitHook == nil {
+		return
+	}
+	if cve := t.Getenv(ExploitEnv); cve != "" {
+		ExploitHook(k, t, cve)
+	}
+}
+
+// protego reports whether the kernel enforces Protego policies (the
+// deprivileged build of the utility).
+func protego(k *kernel.Kernel) bool { return k.Mode == kernel.ModeProtego }
+
+// currentUser resolves the task's real uid to a passwd record.
+func currentUser(k *kernel.Kernel, t *kernel.Task) (*accountdb.User, error) {
+	return accountdb.NewDB(k.FS).LookupUID(t.UID())
+}
+
+// userByName resolves a username.
+func userByName(k *kernel.Kernel, name string) (*accountdb.User, error) {
+	return accountdb.NewDB(k.FS).LookupUser(name)
+}
+
+// splitKV splits "key=value" (value may be empty).
+func splitKV(s string) (string, string) {
+	if i := strings.IndexByte(s, '='); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// RegisterAll installs every utility program in the kernel's binary
+// registry. The world builder creates the corresponding inodes (with or
+// without setuid bits, per mode).
+func RegisterAll(k *kernel.Kernel) {
+	k.RegisterBinary(BinMount, MountMain)
+	k.RegisterBinary(BinUmount, UmountMain)
+	k.RegisterBinary(BinFusermount, FusermountMain)
+	k.RegisterBinary(BinPing, PingMain)
+	k.RegisterBinary(BinTraceroute, TracerouteMain)
+	k.RegisterBinary(BinArping, ArpingMain)
+	k.RegisterBinary(BinMtr, MtrMain)
+	k.RegisterBinary(BinSudo, SudoMain)
+	k.RegisterBinary(BinSudoedit, SudoeditMain)
+	k.RegisterBinary(BinSudoeditHelper, SudoeditHelperMain)
+	k.RegisterBinary(BinSu, SuMain)
+	k.RegisterBinary(BinNewgrp, NewgrpMain)
+	k.RegisterBinary(BinGpasswd, GpasswdMain)
+	k.RegisterBinary(BinPasswd, PasswdMain)
+	k.RegisterBinary(BinChsh, ChshMain)
+	k.RegisterBinary(BinChfn, ChfnMain)
+	k.RegisterBinary(BinVipw, VipwMain)
+	k.RegisterBinary(BinLogin, LoginMain)
+	k.RegisterBinary(BinPppd, PppdMain)
+	k.RegisterBinary(BinExim, EximMain)
+	k.RegisterBinary(BinDmcrypt, DmcryptMain)
+	k.RegisterBinary(BinSSHKeysign, SSHKeysignMain)
+	k.RegisterBinary(BinXserver, XserverMain)
+	k.RegisterBinary(BinSh, ShMain)
+	k.RegisterBinary(BinID, IDMain)
+	k.RegisterBinary(BinLs, LsMain)
+	k.RegisterBinary(BinLpr, LprMain)
+	k.RegisterBinary(BinIptables, IptablesMain)
+	k.RegisterBinary(BinHttpd, HttpdMain)
+	k.RegisterBinary(BinChromiumSandbox, ChromiumSandboxMain)
+	installIputils(k)
+}

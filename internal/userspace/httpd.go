@@ -1,0 +1,71 @@
+package userspace
+
+import (
+	"strconv"
+	"time"
+
+	"protego/internal/kernel"
+	"protego/internal/netstack"
+)
+
+// BinHttpd is the web server used by the ApacheBench-style benchmark.
+const BinHttpd = "/usr/sbin/httpd"
+
+// HTTPPort is the privileged port the server binds.
+const HTTPPort = 80
+
+// HttpdMain implements a minimal web server:
+//
+//	httpd serve <n>   accept and answer n requests, then exit
+//
+// Baseline: started as root to bind port 80 (CAP_NET_BIND_SERVICE), then
+// drops privilege. Protego: started as www-data; the kernel's /etc/bind
+// allocation grants port 80 to this (binary, uid) instance.
+func HttpdMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 2 || args[0] != "serve" {
+		t.Errorf("usage: httpd serve <n>\n")
+		return 1
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n < 0 {
+		t.Errorf("httpd: bad count %q\n", args[1])
+		return 1
+	}
+	sock, err := k.Socket(t, netstack.AF_INET, netstack.SOCK_STREAM, netstack.IPPROTO_TCP)
+	if err != nil {
+		t.Errorf("httpd: socket: %v\n", err)
+		return 1
+	}
+	defer k.CloseSocket(t, sock)
+	if err := k.Bind(t, sock, HTTPPort); err != nil {
+		t.Errorf("httpd: cannot bind port %d: %v\n", HTTPPort, err)
+		return 1
+	}
+	if err := k.Listen(t, sock, 256); err != nil {
+		t.Errorf("httpd: listen: %v\n", err)
+		return 1
+	}
+	if !protego(k) && t.UID() != 0 && t.EUID() == 0 {
+		if err := k.Seteuid(t, t.UID()); err != nil {
+			return 1
+		}
+	}
+	body, err := k.ReadFile(t, "/var/www/index.html")
+	if err != nil {
+		body = []byte("<html>protego</html>")
+	}
+	response := append([]byte("HTTP/1.0 200 OK\r\n\r\n"), body...)
+	for i := 0; i < n; i++ {
+		conn, err := k.Accept(t, sock, 2*time.Second)
+		if err != nil {
+			t.Errorf("httpd: accept: %v\n", err)
+			return 1
+		}
+		if _, err := k.Recv(t, conn, 2*time.Second); err != nil {
+			continue
+		}
+		_, _ = k.Send(t, conn, response)
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+package userspace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"time"
+
+	"protego/internal/accountdb"
+	"protego/internal/authsvc"
+	"protego/internal/kernel"
+)
+
+// LoginMain implements login(1) — a trusted service in both systems (it is
+// started by init as root, not setuid-invoked by users). It authenticates
+// the named user, stamps the in-kernel authentication recency (the code the
+// Protego authentication utility was refactored from), switches
+// credentials, and starts the user's shell.
+func LoginMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("usage: login <user>\n")
+		return 1
+	}
+	if t.EUID() != 0 {
+		t.Errorf("login: must run as root\n")
+		return 1
+	}
+	user, err := userByName(k, args[0])
+	if err != nil {
+		t.Errorf("login: unknown user %s\n", args[0])
+		return 1
+	}
+	password := t.Ask("Password: ")
+	shadow, err := k.ReadFile(t, "/etc/shadow")
+	if err != nil {
+		t.Errorf("login: cannot read shadow\n")
+		return 1
+	}
+	entries, _ := accountdb.ParseShadow(string(shadow))
+	authenticated := false
+	for i := range entries {
+		if entries[i].Name == user.Name && accountdb.VerifyPassword(entries[i].Hash, password) {
+			authenticated = true
+			break
+		}
+	}
+	if !authenticated {
+		t.Errorf("Login incorrect\n")
+		return 1
+	}
+	// Stamp authentication recency in the task security blob — the
+	// session begins freshly authenticated (§4.3).
+	t.SetSecurityBlob(authsvc.BlobLastAuth, time.Now())
+	db := accountdb.NewDB(k.FS)
+	gids, _ := db.GroupIDsOf(user.Name)
+	_ = k.Setgroups(t, gids)
+	_ = k.Setgid(t, user.GID)
+	if err := k.Setuid(t, user.UID); err != nil {
+		t.Errorf("login: %v\n", err)
+		return 1
+	}
+	shell := user.Shell
+	if shell == "" {
+		shell = BinSh
+	}
+	t.Printf("Welcome, %s\n", user.Name)
+	code, err := k.Exec(t, shell, []string{shell}, map[string]string{
+		"HOME": user.Home, "USER": user.Name, "SHELL": shell,
+		"PATH": "/bin:/sbin:/usr/bin:/usr/sbin",
+	})
+	if err != nil {
+		return 1
+	}
+	return code
+}
+
+// DMInfo is the result of the dmcrypt DMGETINFO ioctl: the paper's point
+// is that this single ioctl discloses both the harmless physical device
+// *and* the encryption key, forcing privilege onto any reader.
+type DMInfo struct {
+	PhysicalDevice string
+	Key            string
+}
+
+// DmcryptMain implements dmcrypt-get-device: report the physical device
+// under an encrypted block device. Baseline: privileged DMGETINFO ioctl.
+// Protego: a 4-line change — read /sys, which discloses only the device.
+func DmcryptMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("usage: dmcrypt-get-device <dm-device>\n")
+		return 1
+	}
+	dev := args[0]
+	maybeExploit(k, t)
+	if !protego(k) {
+		var info DMInfo
+		if err := k.Ioctl(t, dev, kernel.DMGETINFO, &info); err != nil {
+			t.Errorf("dmcrypt-get-device: %v\n", err)
+			return 1
+		}
+		t.Printf("%s\n", info.PhysicalDevice)
+		return 0
+	}
+	// Protego path: the /sys file exposes only the public portion.
+	name := dev[strings.LastIndexByte(dev, '/')+1:]
+	data, err := k.ReadFile(t, "/sys/block/"+name+"/dm/slaves")
+	if err != nil {
+		t.Errorf("dmcrypt-get-device: %v\n", err)
+		return 1
+	}
+	t.Printf("%s", data)
+	return 0
+}
+
+// HostKeyPath is the ssh host private key location.
+const HostKeyPath = "/etc/ssh/ssh_host_key"
+
+// SSHKeysignMain signs the caller-supplied data with the host key.
+// Baseline: setuid root to read the 0600 key. Protego: the kernel grants
+// the read to this specific binary path (§4.4) — user id checks alone
+// cannot express "only ssh-keysign".
+func SSHKeysignMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("usage: ssh-keysign <data>\n")
+		return 1
+	}
+	maybeExploit(k, t)
+	key, err := k.ReadFile(t, HostKeyPath)
+	if err != nil {
+		t.Errorf("ssh-keysign: cannot read host key: %v\n", err)
+		return 1
+	}
+	h := sha256.Sum256(append(key, []byte(args[0])...))
+	t.Printf("SIG:%s\n", hex.EncodeToString(h[:8]))
+	return 0
+}
+
+// VideoDevice is the video control device the X server configures.
+const VideoDevice = "/dev/dri0"
+
+// XserverMain is the X server stand-in: it sets the video mode (the
+// operation that historically demanded 4 capabilities) and draws.
+// Baseline: setuid root. Protego: KMS — the kernel context-switches video
+// state, so mode setting is grantable to any console user (§4.5).
+func XserverMain(k *kernel.Kernel, t *kernel.Task) int {
+	maybeExploit(k, t) // CVE-2002-0517, CVE-2006-4447
+	if err := k.Ioctl(t, VideoDevice, kernel.VIDIOCSMODE, "1024x768"); err != nil {
+		t.Errorf("X: cannot set video mode: %v\n", err)
+		return 1
+	}
+	t.Printf("X server running at 1024x768\n")
+	return 0
+}
+
+// ShMain is the minimal shell: `sh` exits 0, `sh -c /path args...`
+// replaces itself with the named program.
+func ShMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) >= 2 && args[0] == "-c" {
+		fields := strings.Fields(args[1])
+		if len(fields) > 0 && strings.HasPrefix(fields[0], "/") {
+			code, err := k.Exec(t, fields[0], fields, nil)
+			if err != nil {
+				t.Errorf("sh: %s: %v\n", fields[0], err)
+				return 127
+			}
+			return code
+		}
+	}
+	return 0
+}
+
+// IDMain prints the caller's identity, like id(1).
+func IDMain(k *kernel.Kernel, t *kernel.Task) int {
+	t.Printf("uid=%d euid=%d gid=%d egid=%d groups=%v\n",
+		t.UID(), t.EUID(), t.GID(), t.EGID(), t.Groups())
+	return 0
+}
+
+// LsMain lists a directory (used as a harmless delegated command).
+func LsMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	dir := t.Cwd()
+	if len(args) == 1 {
+		dir = args[0]
+	}
+	names, err := k.ReadDir(t, dir)
+	if err != nil {
+		t.Errorf("ls: %s: %v\n", dir, err)
+		return 1
+	}
+	for _, n := range names {
+		t.Printf("%s\n", n)
+	}
+	return 0
+}
+
+// LprMain queues a print job — the paper's delegation example ("Alice may
+// allow Bob to issue the lpr command to print with her credentials").
+func LprMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("usage: lpr <file>\n")
+		return 1
+	}
+	data, err := k.ReadFile(t, args[0])
+	if err != nil {
+		t.Errorf("lpr: %s: %v\n", args[0], err)
+		return 1
+	}
+	job := "job uid=" + itoa(t.EUID()) + " bytes=" + itoa(len(data)) + "\n"
+	if err := k.AppendFile(t, "/var/spool/lpd/queue", []byte(job)); err != nil {
+		t.Errorf("lpr: cannot queue: %v\n", err)
+		return 1
+	}
+	t.Printf("request id is 1 (1 file)\n")
+	return 0
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,359 @@
+package userspace
+
+import (
+	"strings"
+
+	"protego/internal/accountdb"
+	"protego/internal/kernel"
+)
+
+// saltFor derives a deterministic salt for a user (a stand-in for random
+// salt generation, keeping the simulation reproducible).
+func saltFor(name string) string { return "pg" + name }
+
+// PasswdMain implements passwd(1).
+//
+// Baseline: setuid root; to let a user change one record the process can
+// rewrite the entire shared /etc/shadow — the six-capability operation the
+// paper calls out. Protego: the user writes only her own
+// /etc/shadows/<user> fragment; the kernel requires a recent
+// authentication before the fragment opens (the trusted service takes the
+// terminal), and the monitoring daemon regenerates the legacy file.
+func PasswdMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	user, err := currentUser(k, t)
+	if err != nil {
+		t.Errorf("passwd: cannot identify caller\n")
+		return 1
+	}
+	targetName := user.Name
+	if len(args) == 1 {
+		targetName = args[0]
+	} else if len(args) > 1 {
+		t.Errorf("usage: passwd [user]\n")
+		return 1
+	}
+
+	if !protego(k) {
+		if t.EUID() != 0 {
+			t.Errorf("passwd: must be setuid root\n")
+			return 1
+		}
+		maybeExploit(k, t) // CVE-2006-3378 et al.
+		if t.UID() != 0 && targetName != user.Name {
+			t.Errorf("passwd: You may not view or modify password information for %s.\n", targetName)
+			return 1
+		}
+		shadowData, err := k.ReadFile(t, "/etc/shadow")
+		if err != nil {
+			t.Errorf("passwd: cannot read shadow: %v\n", err)
+			return 1
+		}
+		entries, err := accountdb.ParseShadow(string(shadowData))
+		if err != nil {
+			t.Errorf("passwd: corrupt shadow file\n")
+			return 1
+		}
+		idx := -1
+		for i := range entries {
+			if entries[i].Name == targetName {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("passwd: user %s not found\n", targetName)
+			return 1
+		}
+		if t.UID() != 0 {
+			current := t.Ask("Current password: ")
+			if !accountdb.VerifyPassword(entries[idx].Hash, current) {
+				t.Errorf("passwd: Authentication failure\n")
+				return 1
+			}
+		}
+		newPassword := t.Ask("New password: ")
+		if newPassword == "" {
+			t.Errorf("passwd: no password supplied\n")
+			return 1
+		}
+		entries[idx].Hash = accountdb.HashPassword(newPassword, saltFor(targetName))
+		if err := k.WriteFile(t, "/etc/shadow", []byte(accountdb.FormatShadow(entries))); err != nil {
+			t.Errorf("passwd: cannot update shadow: %v\n", err)
+			return 1
+		}
+		t.Printf("passwd: password updated successfully\n")
+		return 0
+	}
+
+	// ---- Protego: deprivileged; own fragment only. ----
+	maybeExploit(k, t)
+	if targetName != user.Name && t.UID() != 0 {
+		t.Errorf("passwd: You may not view or modify password information for %s.\n", targetName)
+		return 1
+	}
+	fragment := accountdb.ShadowsDir + "/" + targetName
+	// Opening the fragment triggers the kernel's reauthentication
+	// requirement; the trusted service collects the current password.
+	if _, err := k.ReadFile(t, fragment); err != nil {
+		t.Errorf("passwd: Authentication failure\n")
+		return 1
+	}
+	newPassword := t.Ask("New password: ")
+	if newPassword == "" {
+		t.Errorf("passwd: no password supplied\n")
+		return 1
+	}
+	entry := accountdb.ShadowEntry{Name: targetName, Hash: accountdb.HashPassword(newPassword, saltFor(targetName))}
+	if err := k.WriteFile(t, fragment, []byte(entry.Line()+"\n")); err != nil {
+		t.Errorf("passwd: cannot update %s: %v\n", fragment, err)
+		return 1
+	}
+	t.Printf("passwd: password updated successfully\n")
+	return 0
+}
+
+// readOwnFragment loads and parses the caller's passwd fragment.
+func readOwnFragment(k *kernel.Kernel, t *kernel.Task, name string) (*accountdb.User, error) {
+	data, err := k.ReadFile(t, accountdb.PasswdsDir+"/"+name)
+	if err != nil {
+		return nil, err
+	}
+	users, err := accountdb.ParsePasswd(string(data))
+	if err != nil || len(users) != 1 {
+		return nil, err
+	}
+	return &users[0], nil
+}
+
+// updateOwnFragment validates and writes the caller's modified record.
+func updateOwnFragment(k *kernel.Kernel, t *kernel.Task, u *accountdb.User) error {
+	line := u.Line()
+	if err := accountdb.ValidatePasswdLine(line, u.Name, u.UID, u.GID); err != nil {
+		return err
+	}
+	return k.WriteFile(t, accountdb.PasswdsDir+"/"+u.Name, []byte(line+"\n"))
+}
+
+// updateSharedPasswd is the baseline path: rewrite the whole /etc/passwd
+// with one record changed (requires root).
+func updateSharedPasswd(k *kernel.Kernel, t *kernel.Task, updated *accountdb.User) error {
+	data, err := k.ReadFile(t, "/etc/passwd")
+	if err != nil {
+		return err
+	}
+	users, err := accountdb.ParsePasswd(string(data))
+	if err != nil {
+		return err
+	}
+	for i := range users {
+		if users[i].Name == updated.Name {
+			users[i] = *updated
+		}
+	}
+	return k.WriteFile(t, "/etc/passwd", []byte(accountdb.FormatPasswd(users)))
+}
+
+// ChshMain implements chsh(1): change the caller's login shell. The new
+// shell must be listed in /etc/shells.
+func ChshMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 2 || args[0] != "-s" {
+		t.Errorf("usage: chsh -s <shell>\n")
+		return 1
+	}
+	shell := args[1]
+	user, err := currentUser(k, t)
+	if err != nil {
+		t.Errorf("chsh: cannot identify caller\n")
+		return 1
+	}
+	if shells, err := k.ReadFile(t, "/etc/shells"); err == nil {
+		ok := false
+		for _, s := range strings.Fields(string(shells)) {
+			if s == shell {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("chsh: %s is an invalid shell\n", shell)
+			return 1
+		}
+	}
+
+	if !protego(k) {
+		if t.EUID() != 0 {
+			t.Errorf("chsh: must be setuid root\n")
+			return 1
+		}
+		maybeExploit(k, t) // CVE-2005-1335, CVE-2011-0721
+		user.Shell = shell
+		if err := updateSharedPasswd(k, t, user); err != nil {
+			t.Errorf("chsh: %v\n", err)
+			return 1
+		}
+	} else {
+		maybeExploit(k, t)
+		u, err := readOwnFragment(k, t, user.Name)
+		if err != nil || u == nil {
+			t.Errorf("chsh: cannot read your record\n")
+			return 1
+		}
+		u.Shell = shell
+		if err := updateOwnFragment(k, t, u); err != nil {
+			t.Errorf("chsh: %v\n", err)
+			return 1
+		}
+	}
+	t.Printf("Shell changed.\n")
+	return 0
+}
+
+// ChfnMain implements chfn(1): change the caller's GECOS field.
+func ChfnMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 2 || args[0] != "-f" {
+		t.Errorf("usage: chfn -f <full name>\n")
+		return 1
+	}
+	fullName := args[1]
+	if strings.ContainsAny(fullName, ":\n") {
+		t.Errorf("chfn: invalid characters in name\n")
+		return 1
+	}
+	user, err := currentUser(k, t)
+	if err != nil {
+		t.Errorf("chfn: cannot identify caller\n")
+		return 1
+	}
+
+	if !protego(k) {
+		if t.EUID() != 0 {
+			t.Errorf("chfn: must be setuid root\n")
+			return 1
+		}
+		maybeExploit(k, t) // CVE-2002-1616
+		user.Gecos = fullName
+		if err := updateSharedPasswd(k, t, user); err != nil {
+			t.Errorf("chfn: %v\n", err)
+			return 1
+		}
+	} else {
+		maybeExploit(k, t)
+		u, err := readOwnFragment(k, t, user.Name)
+		if err != nil || u == nil {
+			t.Errorf("chfn: cannot read your record\n")
+			return 1
+		}
+		u.Gecos = fullName
+		if err := updateOwnFragment(k, t, u); err != nil {
+			t.Errorf("chfn: %v\n", err)
+			return 1
+		}
+	}
+	t.Printf("Name changed.\n")
+	return 0
+}
+
+// GpasswdMain implements gpasswd(1): set a group password. Baseline: root
+// rewrites /etc/group. Protego: group members update the group's own
+// fragment (root-owned, group-writable — DAC at the policy's granularity).
+func GpasswdMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("usage: gpasswd <group>\n")
+		return 1
+	}
+	groupName := args[0]
+	db := accountdb.NewDB(k.FS)
+	group, err := db.LookupGroup(groupName)
+	if err != nil {
+		t.Errorf("gpasswd: group %s does not exist\n", groupName)
+		return 1
+	}
+	password := t.Ask("New group password: ")
+	if password == "" {
+		t.Errorf("gpasswd: no password supplied\n")
+		return 1
+	}
+	group.Password = accountdb.HashPassword(password, saltFor("g"+groupName))
+
+	if !protego(k) {
+		if t.EUID() != 0 {
+			t.Errorf("gpasswd: must be setuid root\n")
+			return 1
+		}
+		maybeExploit(k, t)
+		data, err := k.ReadFile(t, "/etc/group")
+		if err != nil {
+			t.Errorf("gpasswd: %v\n", err)
+			return 1
+		}
+		groups, err := accountdb.ParseGroup(string(data))
+		if err != nil {
+			t.Errorf("gpasswd: corrupt group file\n")
+			return 1
+		}
+		for i := range groups {
+			if groups[i].Name == groupName {
+				groups[i] = *group
+			}
+		}
+		if err := k.WriteFile(t, "/etc/group", []byte(accountdb.FormatGroup(groups))); err != nil {
+			t.Errorf("gpasswd: %v\n", err)
+			return 1
+		}
+	} else {
+		maybeExploit(k, t)
+		fragment := accountdb.GroupsDir + "/" + groupName
+		if err := k.WriteFile(t, fragment, []byte(group.Line()+"\n")); err != nil {
+			t.Errorf("gpasswd: %v (are you a member of %s?)\n", err, groupName)
+			return 1
+		}
+	}
+	t.Printf("gpasswd: password for group %s updated\n", groupName)
+	return 0
+}
+
+// VipwMain is the administrator's database editor, modified on Protego
+// (+40 lines in the paper) to edit per-user files instead of the shared
+// database: vipw -s <user> <shell>.
+func VipwMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if t.EUID() != 0 {
+		t.Errorf("vipw: permission denied\n")
+		return 1
+	}
+	if len(args) != 3 || args[0] != "-s" {
+		t.Errorf("usage: vipw -s <user> <shell>\n")
+		return 1
+	}
+	name, shell := args[1], args[2]
+	if !protego(k) {
+		db := accountdb.NewDB(k.FS)
+		user, err := db.LookupUser(name)
+		if err != nil {
+			t.Errorf("vipw: user %s not found\n", name)
+			return 1
+		}
+		user.Shell = shell
+		if err := updateSharedPasswd(k, t, user); err != nil {
+			t.Errorf("vipw: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	u, err := readOwnFragment(k, t, name)
+	if err != nil || u == nil {
+		t.Errorf("vipw: cannot read fragment for %s\n", name)
+		return 1
+	}
+	u.Shell = shell
+	line := u.Line()
+	if err := k.WriteFile(t, accountdb.PasswdsDir+"/"+name, []byte(line+"\n")); err != nil {
+		t.Errorf("vipw: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,224 @@
+package userspace
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"protego/internal/kernel"
+	"protego/internal/netstack"
+)
+
+// recvTimeout bounds waits for network replies in the simulation.
+const recvTimeout = 250 * time.Millisecond
+
+// PingMain implements ping(8) over a raw ICMP socket.
+//
+// Baseline: the binary is setuid root so socket(AF_INET, SOCK_RAW) passes
+// the CAP_NET_RAW check; following best practice it drops privilege with
+// setuid(getuid()) immediately after creating the socket — but the
+// historical CVEs (1999-1208, 2000-1213, 2000-1214, 2001-0499) executed
+// before or despite the drop, which is where the exploit hook fires.
+// Protego: any user may create the raw socket; outgoing packets are
+// subject to the netfilter raw-socket rules (§4.1.1).
+func PingMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	count := 1
+	var destArg string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-c":
+			if i+1 >= len(args) {
+				t.Errorf("ping: -c needs an argument\n")
+				return 1
+			}
+			i++
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n <= 0 {
+				t.Errorf("ping: bad count %q\n", args[i])
+				return 1
+			}
+			count = n
+		default:
+			destArg = args[i]
+		}
+	}
+	if destArg == "" {
+		t.Errorf("ping: usage: ping [-c count] <dest>\n")
+		return 1
+	}
+	dest, err := netstack.ParseIP(destArg)
+	if err != nil {
+		t.Errorf("ping: unknown host %s\n", destArg)
+		return 1
+	}
+
+	sock, err := k.Socket(t, netstack.AF_INET, netstack.SOCK_RAW, netstack.IPPROTO_ICMP)
+	if err != nil {
+		t.Errorf("ping: socket: %v (are you root?)\n", err)
+		return 1
+	}
+	defer k.CloseSocket(t, sock)
+
+	// Injection point: the socket is open; on the baseline the process
+	// is still euid 0 here, about to drop privilege.
+	maybeExploit(k, t)
+
+	// Drop privilege after the last privileged call, as the audited
+	// binaries do (§3.1).
+	if !protego(k) && t.UID() != 0 && t.EUID() == 0 {
+		if err := k.Seteuid(t, t.UID()); err != nil {
+			t.Errorf("ping: cannot drop privilege: %v\n", err)
+			return 1
+		}
+	}
+
+	received := 0
+	for seq := 1; seq <= count; seq++ {
+		payload := []byte(fmt.Sprintf("protego-ping seq=%d", seq))
+		pkt := &netstack.Packet{
+			Dst:      dest,
+			Proto:    netstack.IPPROTO_ICMP,
+			ICMPType: netstack.ICMPEchoRequest,
+			Payload:  payload,
+		}
+		if err := k.SendTo(t, sock, pkt); err != nil {
+			t.Errorf("ping: sendto: %v\n", err)
+			return 1
+		}
+		reply, err := k.RecvFrom(t, sock, recvTimeout)
+		if err != nil {
+			t.Printf("Request timeout for icmp_seq %d\n", seq)
+			continue
+		}
+		if reply.ICMPType == netstack.ICMPEchoReply {
+			received++
+			t.Printf("%d bytes from %s: icmp_seq=%d\n", len(reply.Payload), reply.Src, seq)
+		}
+	}
+	t.Printf("%d packets transmitted, %d received\n", count, received)
+	if received == 0 {
+		return 1
+	}
+	return 0
+}
+
+// TracerouteMain implements a UDP-probe traceroute: probes to the classic
+// 33434+ port range, which the default Protego netfilter rules whitelist.
+func TracerouteMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("traceroute: usage: traceroute <dest>\n")
+		return 1
+	}
+	dest, err := netstack.ParseIP(args[0])
+	if err != nil {
+		t.Errorf("traceroute: unknown host %s\n", args[0])
+		return 1
+	}
+	sock, err := k.Socket(t, netstack.AF_INET, netstack.SOCK_RAW, netstack.IPPROTO_UDP)
+	if err != nil {
+		t.Errorf("traceroute: socket: %v\n", err)
+		return 1
+	}
+	defer k.CloseSocket(t, sock)
+	maybeExploit(k, t)
+	if !protego(k) && t.UID() != 0 && t.EUID() == 0 {
+		if err := k.Seteuid(t, t.UID()); err != nil {
+			return 1
+		}
+	}
+	t.Printf("traceroute to %s, 3 hops max\n", dest)
+	for ttl := 1; ttl <= 3; ttl++ {
+		pkt := &netstack.Packet{
+			Dst:     dest,
+			Proto:   netstack.IPPROTO_UDP,
+			DstPort: 33433 + ttl,
+			TTL:     ttl,
+			Payload: []byte("probe"),
+		}
+		if err := k.SendTo(t, sock, pkt); err != nil {
+			t.Errorf("traceroute: probe ttl=%d: %v\n", ttl, err)
+			return 1
+		}
+		t.Printf(" %d  %s\n", ttl, dest)
+	}
+	return 0
+}
+
+// ArpingMain sends probes over a packet socket (AF_PACKET), the second
+// flavor of privileged socket in the study.
+func ArpingMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("arping: usage: arping <dest>\n")
+		return 1
+	}
+	dest, err := netstack.ParseIP(args[0])
+	if err != nil {
+		t.Errorf("arping: unknown host %s\n", args[0])
+		return 1
+	}
+	sock, err := k.Socket(t, netstack.AF_PACKET, netstack.SOCK_RAW, 0)
+	if err != nil {
+		t.Errorf("arping: socket: %v\n", err)
+		return 1
+	}
+	defer k.CloseSocket(t, sock)
+	maybeExploit(k, t)
+	pkt := &netstack.Packet{
+		Dst:      dest,
+		Proto:    netstack.IPPROTO_ICMP, // stand-in for an ARP frame
+		ICMPType: netstack.ICMPEchoRequest,
+		Payload:  []byte("who-has"),
+	}
+	if err := k.SendTo(t, sock, pkt); err != nil {
+		t.Errorf("arping: send: %v\n", err)
+		return 1
+	}
+	t.Printf("ARPING %s: 1 probe sent\n", dest)
+	return 0
+}
+
+// MtrMain combines ping and traceroute (the mtr-tiny package, CVEs
+// 2000-0172, 2002-0497, 2004-1224).
+func MtrMain(k *kernel.Kernel, t *kernel.Task) int {
+	args := t.Argv()[1:]
+	if len(args) != 1 {
+		t.Errorf("mtr: usage: mtr <dest>\n")
+		return 1
+	}
+	dest, err := netstack.ParseIP(args[0])
+	if err != nil {
+		t.Errorf("mtr: unknown host %s\n", args[0])
+		return 1
+	}
+	sock, err := k.Socket(t, netstack.AF_INET, netstack.SOCK_RAW, netstack.IPPROTO_ICMP)
+	if err != nil {
+		t.Errorf("mtr: socket: %v\n", err)
+		return 1
+	}
+	defer k.CloseSocket(t, sock)
+	maybeExploit(k, t)
+	if !protego(k) && t.UID() != 0 && t.EUID() == 0 {
+		if err := k.Seteuid(t, t.UID()); err != nil {
+			return 1
+		}
+	}
+	pkt := &netstack.Packet{
+		Dst:      dest,
+		Proto:    netstack.IPPROTO_ICMP,
+		ICMPType: netstack.ICMPEchoRequest,
+		Payload:  []byte("mtr probe"),
+	}
+	if err := k.SendTo(t, sock, pkt); err != nil {
+		t.Errorf("mtr: send: %v\n", err)
+		return 1
+	}
+	if _, err := k.RecvFrom(t, sock, recvTimeout); err != nil {
+		t.Printf("HOST: %s  Loss%%: 100.0\n", dest)
+		return 1
+	}
+	t.Printf("HOST: %s  Loss%%: 0.0%%  Snt: 1\n", dest)
+	return 0
+}

@@ -1,0 +1,120 @@
+// Package vfs implements the simulated virtual file system underlying the
+// Protego reproduction: inodes with full Unix permission bits (including the
+// setuid bit at the center of the paper), directories, device nodes, a mount
+// table, path resolution with DAC checks, and inotify-style watches used by
+// the trusted monitoring daemon.
+package vfs
+
+import "strings"
+
+// Mode encodes an inode's type and permission bits, mirroring the layout of
+// a Unix st_mode: the low 12 bits are permissions (rwxrwxrwx plus
+// setuid/setgid/sticky) and the high bits select the file type.
+type Mode uint32
+
+// Permission and special bits (octal, as in stat(2)).
+const (
+	ModeSetuid Mode = 0o4000 // the setuid permission *bit* (04000) of §3.1
+	ModeSetgid Mode = 0o2000
+	ModeSticky Mode = 0o1000
+
+	PermMask Mode = 0o777 // rwxrwxrwx
+	ModeMask Mode = 0o7777
+
+	// Per-class permission bits.
+	PermUserRead   Mode = 0o400
+	PermUserWrite  Mode = 0o200
+	PermUserExec   Mode = 0o100
+	PermGroupRead  Mode = 0o040
+	PermGroupWrite Mode = 0o020
+	PermGroupExec  Mode = 0o010
+	PermOtherRead  Mode = 0o004
+	PermOtherWrite Mode = 0o002
+	PermOtherExec  Mode = 0o001
+)
+
+// File type bits.
+const (
+	TypeRegular Mode = 0o100000
+	TypeDir     Mode = 0o040000
+	TypeSymlink Mode = 0o120000
+	TypeChar    Mode = 0o020000
+	TypeBlock   Mode = 0o060000
+	TypeFIFO    Mode = 0o010000
+	TypeSocket  Mode = 0o140000
+
+	typeMask Mode = 0o170000
+)
+
+// Type returns just the file-type bits of m.
+func (m Mode) Type() Mode { return m & typeMask }
+
+// Perm returns just the permission bits (including setuid/setgid/sticky).
+func (m Mode) Perm() Mode { return m & ModeMask }
+
+// IsDir reports whether m describes a directory.
+func (m Mode) IsDir() bool { return m.Type() == TypeDir }
+
+// IsRegular reports whether m describes a regular file.
+func (m Mode) IsRegular() bool { return m.Type() == TypeRegular }
+
+// IsSymlink reports whether m describes a symbolic link.
+func (m Mode) IsSymlink() bool { return m.Type() == TypeSymlink }
+
+// IsDevice reports whether m describes a character or block device.
+func (m Mode) IsDevice() bool { t := m.Type(); return t == TypeChar || t == TypeBlock }
+
+// IsSetuid reports whether the setuid bit is set — the property whose
+// eradication is the subject of the paper.
+func (m Mode) IsSetuid() bool { return m&ModeSetuid != 0 }
+
+// IsSetgid reports whether the setgid bit is set.
+func (m Mode) IsSetgid() bool { return m&ModeSetgid != 0 }
+
+// String renders the mode in ls -l style, e.g. "-rwsr-xr-x" for a
+// setuid-to-root binary.
+func (m Mode) String() string {
+	var b strings.Builder
+	switch m.Type() {
+	case TypeDir:
+		b.WriteByte('d')
+	case TypeSymlink:
+		b.WriteByte('l')
+	case TypeChar:
+		b.WriteByte('c')
+	case TypeBlock:
+		b.WriteByte('b')
+	case TypeFIFO:
+		b.WriteByte('p')
+	case TypeSocket:
+		b.WriteByte('s')
+	default:
+		b.WriteByte('-')
+	}
+	rwx := func(r, w, x bool, special bool, specialChar byte) {
+		if r {
+			b.WriteByte('r')
+		} else {
+			b.WriteByte('-')
+		}
+		if w {
+			b.WriteByte('w')
+		} else {
+			b.WriteByte('-')
+		}
+		switch {
+		case special && x:
+			b.WriteByte(specialChar)
+		case special && !x:
+			b.WriteByte(specialChar - 'a' + 'A') // 's' -> 'S', 't' -> 'T'
+		case x:
+			b.WriteByte('x')
+		default:
+			b.WriteByte('-')
+		}
+	}
+	rwx(m&PermUserRead != 0, m&PermUserWrite != 0, m&PermUserExec != 0, m&ModeSetuid != 0, 's')
+	rwx(m&PermGroupRead != 0, m&PermGroupWrite != 0, m&PermGroupExec != 0, m&ModeSetgid != 0, 's')
+	rwx(m&PermOtherRead != 0, m&PermOtherWrite != 0, m&PermOtherExec != 0, m&ModeSticky != 0, 't')
+	return b.String()
+}

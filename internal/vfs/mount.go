@@ -1,0 +1,173 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"protego/internal/errno"
+)
+
+// Mount records one grafted file system, mirroring an /etc/mtab entry.
+type Mount struct {
+	Device    string   // e.g. /dev/cdrom
+	Point     string   // mount point path
+	FSType    string   // e.g. iso9660, ext4, vfat
+	Options   []string // normalized option list
+	ReadOnly  bool
+	MountedBy int // uid of the task that performed the mount
+	MountTime time.Time
+	UserMount bool // true if performed by a non-root uid
+}
+
+// HasOption reports whether the mount carries the named option.
+func (m *Mount) HasOption(opt string) bool {
+	for _, o := range m.Options {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachMount grafts a fresh file system subtree at the directory `point`,
+// saving the directory's previous contents so Detach can restore them. This
+// implements the mount(2) semantics that the paper's Figure 1 revolves
+// around. Policy is NOT checked here — that is the kernel's (and its LSMs')
+// job; the VFS only implements mechanism.
+func (fs *FS) AttachMount(c Cred, m *Mount) error {
+	clean := CleanPath(m.Point, "/")
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.resolve(c, clean, true, 0)
+	if err != nil {
+		return err
+	}
+	if !ino.Mode.IsDir() {
+		return errno.ENOTDIR
+	}
+	for _, existing := range fs.mounts {
+		if existing.Device == m.Device && m.Device != "none" && m.Device != "tmpfs" {
+			return errno.EBUSY // device already mounted
+		}
+		if existing.Point == clean {
+			return errno.EBUSY // something already mounted here (no stacking)
+		}
+	}
+	fs.mountSave[clean] = append(fs.mountSave[clean], savedDir{
+		children: ino.children,
+		mode:     ino.Mode,
+		uid:      ino.UID,
+		gid:      ino.GID,
+	})
+	ino.children = make(map[string]*Inode)
+	mcopy := *m
+	mcopy.Point = clean
+	mcopy.MountTime = time.Now()
+	sort.Strings(mcopy.Options)
+	fs.mounts = append(fs.mounts, &mcopy)
+	return nil
+}
+
+// DetachMount removes the mount at point, restoring the directory's
+// pre-mount contents. Returns the removed mount record.
+func (fs *FS) DetachMount(c Cred, point string) (*Mount, error) {
+	clean := CleanPath(point, "/")
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	idx := -1
+	for i, m := range fs.mounts {
+		if m.Point == clean {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, errno.EINVAL // not mounted
+	}
+	ino, err := fs.resolve(c, clean, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	saves := fs.mountSave[clean]
+	if len(saves) == 0 {
+		return nil, errno.EINVAL
+	}
+	save := saves[len(saves)-1]
+	fs.mountSave[clean] = saves[:len(saves)-1]
+	ino.children = save.children
+	m := fs.mounts[idx]
+	fs.mounts = append(fs.mounts[:idx], fs.mounts[idx+1:]...)
+	return m, nil
+}
+
+// Mounts returns a snapshot of the mount table (most recent last).
+func (fs *FS) Mounts() []*Mount {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]*Mount, len(fs.mounts))
+	copy(out, fs.mounts)
+	return out
+}
+
+// MountAt returns the mount whose point is exactly path, if any.
+func (fs *FS) MountAt(path string) *Mount {
+	clean := CleanPath(path, "/")
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for _, m := range fs.mounts {
+		if m.Point == clean {
+			return m
+		}
+	}
+	return nil
+}
+
+// isMountPointLocked reports whether path is an active mount point. Caller
+// holds fs.mu.
+func (fs *FS) isMountPointLocked(path string) bool {
+	for _, m := range fs.mounts {
+		if m.Point == path {
+			return true
+		}
+	}
+	return false
+}
+
+// checkReadOnlyLocked returns EROFS when path lies under a read-only mount.
+// Caller holds fs.mu (read or write).
+func (fs *FS) checkReadOnlyLocked(path string) error {
+	clean := CleanPath(path, "/")
+	best := ""
+	ro := false
+	for _, m := range fs.mounts {
+		if IsUnder(clean, m.Point) && len(m.Point) > len(best) {
+			best = m.Point
+			ro = m.ReadOnly
+		}
+	}
+	if ro {
+		return errno.EROFS
+	}
+	return nil
+}
+
+// FormatMtab renders the mount table in /etc/mtab style, one mount per line.
+func (fs *FS) FormatMtab() string {
+	var b strings.Builder
+	for _, m := range fs.Mounts() {
+		opts := strings.Join(m.Options, ",")
+		if opts == "" {
+			opts = "defaults"
+		}
+		b.WriteString(m.Device)
+		b.WriteByte(' ')
+		b.WriteString(m.Point)
+		b.WriteByte(' ')
+		b.WriteString(m.FSType)
+		b.WriteByte(' ')
+		b.WriteString(opts)
+		b.WriteString(" 0 0\n")
+	}
+	return b.String()
+}

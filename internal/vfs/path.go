@@ -1,0 +1,67 @@
+package vfs
+
+import "strings"
+
+// CleanPath normalizes an absolute or relative slash-separated path:
+// collapsing repeated slashes, resolving "." and "..". Relative paths are
+// resolved against cwd (which must be absolute). The result is always
+// absolute and never ends in a slash (except the root itself).
+func CleanPath(path, cwd string) string {
+	if !strings.HasPrefix(path, "/") {
+		if cwd == "" {
+			cwd = "/"
+		}
+		path = cwd + "/" + path
+	}
+	parts := strings.Split(path, "/")
+	stack := make([]string, 0, len(parts))
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			stack = append(stack, p)
+		}
+	}
+	return "/" + strings.Join(stack, "/")
+}
+
+// SplitPath returns the parent directory and base name of an absolute,
+// cleaned path. SplitPath("/") returns ("/", ".").
+func SplitPath(path string) (dir, base string) {
+	if path == "/" {
+		return "/", "."
+	}
+	i := strings.LastIndexByte(path, '/')
+	dir = path[:i]
+	if dir == "" {
+		dir = "/"
+	}
+	return dir, path[i+1:]
+}
+
+// BaseName returns the final component of path.
+func BaseName(path string) string {
+	_, base := SplitPath(CleanPath(path, "/"))
+	return base
+}
+
+// IsUnder reports whether path is equal to or lexically beneath dir (both
+// must be cleaned, absolute paths).
+func IsUnder(path, dir string) bool {
+	if dir == "/" {
+		return true
+	}
+	return path == dir || strings.HasPrefix(path, dir+"/")
+}
+
+// components splits a cleaned absolute path into its components.
+func components(path string) []string {
+	if path == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(path, "/"), "/")
+}

@@ -1,0 +1,110 @@
+package vfs
+
+import "sync"
+
+// Op identifies the kind of file system event delivered to a watch,
+// modeled on the inotify framework the paper's monitoring daemon uses.
+type Op int
+
+// Event operations.
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpRemove
+	OpChmod
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpRemove:
+		return "remove"
+	case OpChmod:
+		return "chmod"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes a change to a watched path.
+type Event struct {
+	Op   Op
+	Path string
+}
+
+// Watch receives events for a path (or everything beneath a directory
+// path). Events are delivered on C; slow consumers drop events rather than
+// block the file system, mirroring inotify's queue-overflow behaviour.
+type Watch struct {
+	id   int
+	path string
+	fs   *FS
+	C    chan Event
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Watch registers interest in path. Events fire when path itself or any
+// entry lexically beneath it changes.
+func (fs *FS) Watch(path string) *Watch {
+	w := &Watch{
+		path: CleanPath(path, "/"),
+		fs:   fs,
+		C:    make(chan Event, 256),
+	}
+	fs.mu.Lock()
+	fs.watchSeq++
+	w.id = fs.watchSeq
+	fs.watches = append(fs.watches, w)
+	fs.mu.Unlock()
+	return w
+}
+
+// Close deregisters the watch and closes its channel.
+func (w *Watch) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+
+	w.fs.mu.Lock()
+	for i, other := range w.fs.watches {
+		if other.id == w.id {
+			w.fs.watches = append(w.fs.watches[:i], w.fs.watches[i+1:]...)
+			break
+		}
+	}
+	w.fs.mu.Unlock()
+	close(w.C)
+}
+
+// notify fans an event out to matching watches. It must be called without
+// fs.mu held to avoid deadlock with watch registration.
+func (fs *FS) notify(ev Event) {
+	fs.mu.RLock()
+	matched := make([]*Watch, 0, 2)
+	for _, w := range fs.watches {
+		if IsUnder(ev.Path, w.path) {
+			matched = append(matched, w)
+		}
+	}
+	fs.mu.RUnlock()
+	for _, w := range matched {
+		w.mu.Lock()
+		if !w.closed {
+			select {
+			case w.C <- ev:
+			default: // queue overflow: drop, like inotify
+			}
+		}
+		w.mu.Unlock()
+	}
+}
