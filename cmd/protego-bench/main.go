@@ -34,6 +34,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	repo := flag.String("repo", ".", "repository root for line counting (table 2)")
+	jsonPath := flag.String("json", "", "also write the table-5 run as a JSON report (e.g. BENCH_protego.json)")
 	flag.Parse()
 
 	run := func(n int, fn func() error) {
@@ -55,7 +56,7 @@ func main() {
 	run(2, func() error { return printTable2(*repo) })
 	run(3, func() error { fmt.Print(survey.FormatTable3()); return nil })
 	run(4, func() error { fmt.Print(core.FormatCatalog()); return nil })
-	run(5, func() error { return printTable5(*quick) })
+	run(5, func() error { return printTable5(*quick, *jsonPath) })
 	run(6, func() error { return printTable6() })
 	run(7, func() error { return printTable7() })
 	run(8, func() error { fmt.Print(survey.FormatTable8()); return nil })
@@ -68,7 +69,7 @@ func main() {
 	}
 }
 
-func printTable5(quick bool) error {
+func printTable5(quick bool, jsonPath string) error {
 	cfg := bench.DefaultTable5Config()
 	if quick {
 		cfg.PostalMessages = 50
@@ -81,6 +82,17 @@ func printTable5(quick bool) error {
 		return err
 	}
 	fmt.Print(bench.FormatTable5(rows))
+	if jsonPath != "" {
+		rep, err := bench.BuildReport(rows, quick)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteReport(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (trace emission: %.0f ns/op, under 1µs: %v)\n",
+			jsonPath, rep.Emission.NsPerOp, rep.Emission.Under1us)
+	}
 	return nil
 }
 

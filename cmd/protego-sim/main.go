@@ -107,7 +107,15 @@ func main() {
 				fmt.Println("usage: cat <path>")
 				return
 			}
-			data, err := m.K.FS.ReadFile(vfs.RootCred, fields[1])
+			// Read through the kernel's syscall path (not the raw VFS) so
+			// synthetic files like /proc/trace work and the read itself
+			// shows up in the trace.
+			root, err := m.Session("root")
+			if err != nil {
+				fmt.Printf("cat: %v\n", err)
+				return
+			}
+			data, err := m.K.ReadFile(root, fields[1])
 			if err != nil {
 				fmt.Printf("cat: %v\n", err)
 				return

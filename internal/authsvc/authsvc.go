@@ -17,6 +17,7 @@ import (
 	"protego/internal/errno"
 	"protego/internal/lsm"
 	"protego/internal/policy"
+	"protego/internal/trace"
 )
 
 // BlobLastAuth is the task security blob key holding the last successful
@@ -42,6 +43,10 @@ type Service struct {
 	// Attempts counts password verifications, observable in tests and
 	// the ablation benchmarks.
 	Attempts int
+
+	// tracer, when set, receives one auth event per check. Installed at
+	// world build, before the service handles requests.
+	tracer *trace.Tracer
 }
 
 // New creates a service over the account database with the default
@@ -52,6 +57,18 @@ func New(db *accountdb.DB) *Service {
 		window: policy.DefaultTimestampTimeout,
 		now:    time.Now,
 	}
+}
+
+// SetTracer installs the trace sink for authentication checks.
+func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// observe emits one auth event; t may be nil for non-task checks.
+func (s *Service) observe(mechanism, subject string, t lsm.Task, ok bool) {
+	pid, uid := 0, -1
+	if t != nil {
+		pid, uid = t.PID(), t.UID()
+	}
+	s.tracer.AuthCheck(mechanism, subject, pid, uid, ok)
 }
 
 // SetWindow adjusts the recency window (driven by the sudoers
@@ -122,12 +139,15 @@ func (s *Service) VerifyPassword(user, password string) bool {
 func (s *Service) AuthenticateUser(t lsm.Task, user string, ownIdentity bool) error {
 	p, ok := t.(Prompter)
 	if !ok {
+		s.observe("password", user, t, false)
 		return errno.EACCES
 	}
 	password := p.Ask("[protego-auth] password for " + user + ": ")
 	if !s.VerifyPassword(user, password) {
+		s.observe("password", user, t, false)
 		return errno.EACCES
 	}
+	s.observe("password", user, t, true)
 	if ownIdentity {
 		s.Stamp(t)
 	}
@@ -136,7 +156,8 @@ func (s *Service) AuthenticateUser(t lsm.Task, user string, ownIdentity bool) er
 
 // AuthenticateGroup asks for a password-protected group's password (the
 // newgrp flow of §4.3).
-func (s *Service) AuthenticateGroup(t lsm.Task, group string) error {
+func (s *Service) AuthenticateGroup(t lsm.Task, group string) (err error) {
+	defer func() { s.observe("group", group, t, err == nil) }()
 	g, err := s.db.LookupGroup(group)
 	if err != nil {
 		return errno.EACCES
@@ -162,7 +183,9 @@ func (s *Service) AuthenticateGroup(t lsm.Task, group string) error {
 // This is the entry point the Protego LSM calls on setuid (§4.3).
 func (s *Service) EnsureRecent(t lsm.Task, ownUser string) error {
 	if s.RecentlyAuthenticated(t) {
+		s.observe("recency", ownUser, t, true)
 		return nil
 	}
+	s.observe("recency", ownUser, t, false)
 	return s.AuthenticateUser(t, ownUser, true)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation multiplies the tracer's per-event cost, so timing
+// assertions are relaxed under -race.
+const raceEnabled = true

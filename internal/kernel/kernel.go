@@ -9,6 +9,7 @@ import (
 	"protego/internal/lsm"
 	"protego/internal/netfilter"
 	"protego/internal/netstack"
+	"protego/internal/trace"
 	"protego/internal/vfs"
 )
 
@@ -53,6 +54,9 @@ type Kernel struct {
 	Net    *netstack.Stack
 	Filter *netfilter.Table
 	LSM    *lsm.Chain
+	// Trace is the kernel's observability substrate: every syscall, LSM
+	// decision, netfilter verdict, and audit line lands in its ring.
+	Trace *trace.Tracer
 
 	mu       sync.Mutex
 	tasks    map[int]*Task
@@ -60,9 +64,6 @@ type Kernel struct {
 	binaries map[string]Program
 	devices  map[string]IoctlHandler
 	unprivNS bool
-
-	auditMu sync.Mutex
-	audit   []string
 }
 
 // New creates a kernel in the given mode with an empty file system and a
@@ -75,26 +76,46 @@ func New(mode Mode, hostIP netstack.IP) *Kernel {
 		Net:      netstack.NewStack(hostIP),
 		Filter:   netfilter.NewTable(),
 		LSM:      lsm.NewChain(),
+		Trace:    trace.New(trace.DefaultCapacity),
 		tasks:    make(map[int]*Task),
 		binaries: make(map[string]Program),
 		devices:  make(map[string]IoctlHandler),
 	}
 	k.Net.SetFilter(k.Filter)
+	k.LSM.SetTracer(k.Trace)
+	k.Filter.SetTracer(k.Trace)
 	return k
 }
 
-// Auditf records a security-relevant event, visible via AuditLog.
+// Auditf records a security-relevant event as a structured KindAudit record
+// on the trace ring. Retention is bounded by the ring capacity
+// (trace.DefaultCapacity events); older lines are overwritten, with the
+// shortfall visible via AuditDropped.
 func (k *Kernel) Auditf(format string, args ...any) {
-	k.auditMu.Lock()
-	k.audit = append(k.audit, fmt.Sprintf(format, args...))
-	k.auditMu.Unlock()
+	k.Trace.Audit(fmt.Sprintf(format, args...))
 }
 
-// AuditLog returns a snapshot of recorded security events.
+// AuditLog returns the retained security-audit lines, oldest first. The log
+// is a filtered view of the trace ring, so it holds at most the ring
+// capacity's worth of recent events.
 func (k *Kernel) AuditLog() []string {
-	k.auditMu.Lock()
-	defer k.auditMu.Unlock()
-	return append([]string(nil), k.audit...)
+	evs := k.Trace.SnapshotKind(trace.KindAudit)
+	out := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, ev.Msg)
+	}
+	return out
+}
+
+// AuditDropped reports how many audit lines have aged out of the bounded
+// log (emitted minus retained).
+func (k *Kernel) AuditDropped() uint64 {
+	total := k.Trace.EmittedKind(trace.KindAudit)
+	retained := uint64(len(k.Trace.SnapshotKind(trace.KindAudit)))
+	if retained >= total {
+		return 0
+	}
+	return total - retained
 }
 
 // RegisterBinary installs a program at path in the binary registry. The
@@ -242,22 +263,30 @@ func (k *Kernel) Tasks() []*Task {
 // error without running anything if the binary cannot be executed or the
 // LSM vetoes (e.g. a delegated transition to a non-whitelisted command,
 // which surfaces as EPERM at exec time exactly as described in §4.3).
-func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string) (int, error) {
+func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string) (code int, err error) {
+	// The exit event is emitted when control transfers to the new image,
+	// not when the program finishes: the program's own syscalls must not
+	// nest inside the exec latency sample.
+	tok := k.sysEnter("exec", t)
+	fail := func(ferr error) (int, error) {
+		k.Trace.SyscallExit(tok, ferr)
+		return -1, ferr
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
 	if err != nil {
-		return -1, err
+		return fail(err)
 	}
 	if !ino.Mode.IsRegular() {
-		return -1, errno.EACCES
+		return fail(errno.EACCES)
 	}
 	if err := vfs.CheckAccess(creds, ino, vfs.MayExec); err != nil {
-		return -1, err
+		return fail(err)
 	}
 	prog := k.LookupBinary(clean)
 	if prog == nil {
-		return -1, errno.ENOEXEC
+		return fail(errno.ENOEXEC)
 	}
 	if env == nil {
 		env = copyEnv(t.Env())
@@ -272,7 +301,7 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 	update, err := k.LSM.ExecCheck(t, req)
 	if err != nil {
 		k.Auditf("exec denied: pid=%d uid=%d path=%s: %v", t.PID(), t.UID(), clean, err)
-		return -1, err
+		return fail(err)
 	}
 
 	newCreds := creds.Clone()
@@ -319,6 +348,7 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 	}
 	t.mu.Unlock()
 
+	k.Trace.SyscallExit(tok, nil)
 	return prog(k, t), nil
 }
 

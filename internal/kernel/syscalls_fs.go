@@ -50,7 +50,9 @@ func (k *Kernel) fileOpenHook(t *Task, path string, ino *vfs.Inode, write bool, 
 }
 
 // Open opens path and installs a descriptor in the task's fd table.
-func (k *Kernel) Open(t *Task, path string, flags int) (int, error) {
+func (k *Kernel) Open(t *Task, path string, flags int) (fd int, err error) {
+	tok := k.sysEnter("open", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -82,7 +84,7 @@ func (k *Kernel) Open(t *Task, path string, flags int) (int, error) {
 	if flags&O_TRUNC != 0 && ino.Mode.IsRegular() && !ino.IsProc() {
 		ino.Data = nil
 	}
-	fd := &FileDesc{
+	desc := &FileDesc{
 		Ino:         ino,
 		Path:        clean,
 		Flags:       flags,
@@ -91,7 +93,7 @@ func (k *Kernel) Open(t *Task, path string, flags int) (int, error) {
 	t.mu.Lock()
 	n := t.nextFD
 	t.nextFD++
-	t.fds[n] = fd
+	t.fds[n] = desc
 	t.mu.Unlock()
 	return n, nil
 }
@@ -108,7 +110,9 @@ func (t *Task) fdesc(fd int) (*FileDesc, error) {
 }
 
 // Read reads up to n bytes from the descriptor.
-func (k *Kernel) Read(t *Task, fd, n int) ([]byte, error) {
+func (k *Kernel) Read(t *Task, fd, n int) (buf []byte, err error) {
+	tok := k.sysEnter("read", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	f, err := t.fdesc(fd)
 	if err != nil {
 		return nil, err
@@ -131,7 +135,9 @@ func (k *Kernel) Read(t *Task, fd, n int) ([]byte, error) {
 }
 
 // Write writes data at the descriptor's position (or appends with O_APPEND).
-func (k *Kernel) Write(t *Task, fd int, data []byte) (int, error) {
+func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
+	tok := k.sysEnter("write", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	f, err := t.fdesc(fd)
 	if err != nil {
 		return 0, err
@@ -159,7 +165,9 @@ func (k *Kernel) Write(t *Task, fd int, data []byte) (int, error) {
 }
 
 // CloseFD releases a descriptor.
-func (k *Kernel) CloseFD(t *Task, fd int) error {
+func (k *Kernel) CloseFD(t *Task, fd int) (err error) {
+	tok := k.sysEnter("close", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.fds[fd]; !ok {
@@ -181,13 +189,17 @@ func (k *Kernel) SetCloseOnExec(t *Task, fd int, on bool) error {
 }
 
 // Stat returns the inode at path.
-func (k *Kernel) Stat(t *Task, path string) (*vfs.Inode, error) {
+func (k *Kernel) Stat(t *Task, path string) (ino *vfs.Inode, err error) {
+	tok := k.sysEnter("stat", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.Stat(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Access reports whether the task may access path with the given rights.
-func (k *Kernel) Access(t *Task, path string, want int) error {
-	ino, err := k.Stat(t, path)
+func (k *Kernel) Access(t *Task, path string, want int) (err error) {
+	tok := k.sysEnter("access", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
+	ino, err := k.FS.Stat(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 	if err != nil {
 		return err
 	}
@@ -196,14 +208,18 @@ func (k *Kernel) Access(t *Task, path string, want int) error {
 
 // ReadFile is the open+read+close convenience used by the utilities. All
 // LSM open mediation applies.
-func (k *Kernel) ReadFile(t *Task, path string) ([]byte, error) {
+func (k *Kernel) ReadFile(t *Task, path string) (buf []byte, err error) {
+	tok := k.sysEnter("readfile", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
 	if err != nil {
 		return nil, err
 	}
-	if ino.Mode.IsDir() {
+	// A directory with a read handler is a synthetic proc file rendered on
+	// read (e.g. /proc/trace); plain directories stay EISDIR.
+	if ino.Mode.IsDir() && ino.ReadFn == nil {
 		return nil, errno.EISDIR
 	}
 	dacErr := vfs.CheckAccess(creds, ino, vfs.MayRead)
@@ -220,7 +236,9 @@ func (k *Kernel) ReadFile(t *Task, path string) ([]byte, error) {
 
 // WriteFile is the open+write+close convenience (creates with mode 0644
 // owned by the task's fsuid when absent). LSM open mediation applies.
-func (k *Kernel) WriteFile(t *Task, path string, data []byte) error {
+func (k *Kernel) WriteFile(t *Task, path string, data []byte) (err error) {
+	tok := k.sysEnter("writefile", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -242,7 +260,9 @@ func (k *Kernel) WriteFile(t *Task, path string, data []byte) error {
 }
 
 // AppendFile appends to an existing file with LSM mediation.
-func (k *Kernel) AppendFile(t *Task, path string, data []byte) error {
+func (k *Kernel) AppendFile(t *Task, path string, data []byte) (err error) {
+	tok := k.sysEnter("appendfile", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -257,39 +277,53 @@ func (k *Kernel) AppendFile(t *Task, path string, data []byte) error {
 }
 
 // Mkdir creates a directory owned by the task's fsuid.
-func (k *Kernel) Mkdir(t *Task, path string, mode vfs.Mode) error {
+func (k *Kernel) Mkdir(t *Task, path string, mode vfs.Mode) (err error) {
+	tok := k.sysEnter("mkdir", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	creds := t.credsRef()
-	_, err := k.FS.Mkdir(creds, vfs.CleanPath(path, t.Cwd()), mode, creds.FUID, creds.FGID)
+	_, err = k.FS.Mkdir(creds, vfs.CleanPath(path, t.Cwd()), mode, creds.FUID, creds.FGID)
 	return err
 }
 
 // Unlink removes a file.
-func (k *Kernel) Unlink(t *Task, path string) error {
+func (k *Kernel) Unlink(t *Task, path string) (err error) {
+	tok := k.sysEnter("unlink", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.Remove(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Rename moves a file.
-func (k *Kernel) Rename(t *Task, oldPath, newPath string) error {
+func (k *Kernel) Rename(t *Task, oldPath, newPath string) (err error) {
+	tok := k.sysEnter("rename", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.Rename(t.credsRef(), vfs.CleanPath(oldPath, t.Cwd()), vfs.CleanPath(newPath, t.Cwd()))
 }
 
 // Chmod changes permission bits.
-func (k *Kernel) Chmod(t *Task, path string, mode vfs.Mode) error {
+func (k *Kernel) Chmod(t *Task, path string, mode vfs.Mode) (err error) {
+	tok := k.sysEnter("chmod", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.Chmod(t.credsRef(), vfs.CleanPath(path, t.Cwd()), mode)
 }
 
 // Chown changes ownership.
-func (k *Kernel) Chown(t *Task, path string, uid, gid int) error {
+func (k *Kernel) Chown(t *Task, path string, uid, gid int) (err error) {
+	tok := k.sysEnter("chown", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.Chown(t.credsRef(), vfs.CleanPath(path, t.Cwd()), uid, gid)
 }
 
 // ReadDir lists a directory.
-func (k *Kernel) ReadDir(t *Task, path string) ([]string, error) {
+func (k *Kernel) ReadDir(t *Task, path string) (names []string, err error) {
+	tok := k.sysEnter("readdir", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return k.FS.ReadDir(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Chdir changes the working directory.
-func (k *Kernel) Chdir(t *Task, path string) error {
+func (k *Kernel) Chdir(t *Task, path string) (err error) {
+	tok := k.sysEnter("chdir", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(path, t.Cwd())
 	ino, err := k.FS.Lookup(t.credsRef(), clean)
 	if err != nil {

@@ -19,8 +19,14 @@ func (k *Kernel) Getgid(t *Task) int { return t.GID() }
 func (k *Kernel) Getegid(t *Task) int { return t.EGID() }
 
 // Getpid returns the process id; it is the "null syscall" used by the
-// lmbench-style microbenchmark.
-func (k *Kernel) Getpid(t *Task) int { return t.PID() }
+// lmbench-style microbenchmark (and therefore the purest measure of the
+// trace layer's per-syscall emission cost).
+func (k *Kernel) Getpid(t *Task) int {
+	tok := k.sysEnter("getpid", t)
+	pid := t.PID()
+	k.Trace.SyscallExit(tok, nil)
+	return pid
+}
 
 // Setuid implements setuid(2) with the Protego extension. Base policy is
 // Linux's: CAP_SETUID sets all three ids; otherwise the target must equal
@@ -29,7 +35,9 @@ func (k *Kernel) Getpid(t *Task) int { return t.PID() }
 // performs the change immediately), Deny (EPERM), or DeferToExec (success
 // is reported but the change is applied at the next exec once the target
 // binary is validated against the delegation rules).
-func (k *Kernel) Setuid(t *Task, uid int) error {
+func (k *Kernel) Setuid(t *Task, uid int) (err error) {
+	tok := k.sysEnter("setuid", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	if uid < 0 {
 		return errno.EINVAL
 	}
@@ -79,7 +87,9 @@ func (k *Kernel) Setuid(t *Task, uid int) error {
 
 // Seteuid implements seteuid(2): unprivileged tasks may set the effective
 // uid to any of the real, effective, or saved uids.
-func (k *Kernel) Seteuid(t *Task, uid int) error {
+func (k *Kernel) Seteuid(t *Task, uid int) (err error) {
+	tok := k.sysEnter("seteuid", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	creds := t.credsRef()
 	if creds.Capable(caps.CAP_SETUID) || uid == creds.RUID || uid == creds.EUID || uid == creds.SUID {
 		t.mu.Lock()
@@ -95,7 +105,9 @@ func (k *Kernel) Seteuid(t *Task, uid int) error {
 
 // Setgid implements setgid(2) with the Protego extension for
 // password-protected groups (newgrp, §4.3).
-func (k *Kernel) Setgid(t *Task, gid int) error {
+func (k *Kernel) Setgid(t *Task, gid int) (err error) {
+	tok := k.sysEnter("setgid", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	if gid < 0 {
 		return errno.EINVAL
 	}
@@ -132,7 +144,9 @@ func (k *Kernel) Setgid(t *Task, gid int) error {
 }
 
 // Setgroups replaces the supplementary groups; requires CAP_SETGID.
-func (k *Kernel) Setgroups(t *Task, groups []int) error {
+func (k *Kernel) Setgroups(t *Task, groups []int) (err error) {
+	tok := k.sysEnter("setgroups", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	creds := t.credsRef()
 	if !creds.Capable(caps.CAP_SETGID) {
 		return errno.EPERM

@@ -32,7 +32,9 @@ const (
 // permissive, replacing a capability check with device file permissions);
 // then the LSM mediates; then the registered device handler runs with the
 // grant decision.
-func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) error {
+func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) (err error) {
+	tok := k.sysEnter("ioctl", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(devPath, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -61,7 +63,9 @@ func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) error {
 }
 
 // SigAction installs a signal handler (lmbench "sig install").
-func (k *Kernel) SigAction(t *Task, sig int, handler func(int)) error {
+func (k *Kernel) SigAction(t *Task, sig int, handler func(int)) (err error) {
+	tok := k.sysEnter("sigaction", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	if sig <= 0 || sig > 64 {
 		return errno.EINVAL
 	}
@@ -73,7 +77,9 @@ func (k *Kernel) SigAction(t *Task, sig int, handler func(int)) error {
 
 // Kill delivers a signal to the target pid. Permission follows Unix rules:
 // same real/effective uid, or CAP_KILL.
-func (k *Kernel) Kill(t *Task, pid, sig int) error {
+func (k *Kernel) Kill(t *Task, pid, sig int) (err error) {
+	tok := k.sysEnter("kill", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	target := k.Task(pid)
 	if target == nil {
 		return errno.ESRCH

@@ -22,7 +22,9 @@ func hasOpt(opts []string, opt string) bool {
 // LSM hook consults the in-kernel user-mount whitelist synchronized from
 // /etc/fstab and may Grant the call for an unprivileged task — the right
 // half of the paper's Figure 1.
-func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) error {
+func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) (err error) {
+	tok := k.sysEnter("mount", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	req := &lsm.MountRequest{
 		Device:   device,
 		Point:    vfs.CleanPath(point, t.Cwd()),
@@ -57,7 +59,9 @@ func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) 
 
 // Umount implements umount(2) under the same split: CAP_SYS_ADMIN or an
 // LSM grant (user entries in /etc/fstab are unmountable by users).
-func (k *Kernel) Umount(t *Task, point string) error {
+func (k *Kernel) Umount(t *Task, point string) (err error) {
+	tok := k.sysEnter("umount", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	clean := vfs.CleanPath(point, t.Cwd())
 	existing := k.FS.MountAt(clean)
 	if existing == nil {

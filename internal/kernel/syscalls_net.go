@@ -13,7 +13,9 @@ import (
 // CAP_NET_RAW (which is why ping is setuid root on the baseline). On
 // Protego the LSM grants unprivileged raw sockets, tagging them so the
 // netfilter extension filters their outgoing packets (§4.1.1).
-func (k *Kernel) Socket(t *Task, family, typ, proto int) (*netstack.Socket, error) {
+func (k *Kernel) Socket(t *Task, family, typ, proto int) (sock *netstack.Socket, err error) {
+	tok := k.sysEnter("socket", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	raw := typ == netstack.SOCK_RAW || family == netstack.AF_PACKET
 	req := &lsm.SocketRequest{Family: family, Type: typ, Proto: proto}
 	dec, err := k.LSM.SocketCreate(t, req)
@@ -47,7 +49,9 @@ func (k *Kernel) Socket(t *Task, family, typ, proto int) (*netstack.Socket, erro
 // CAP_NET_BIND_SERVICE. On Protego the LSM consults the /etc/bind port
 // allocation table mapping each privileged port to one (binary, uid)
 // application instance (§4.1.3).
-func (k *Kernel) Bind(t *Task, sock *netstack.Socket, port int) error {
+func (k *Kernel) Bind(t *Task, sock *netstack.Socket, port int) (err error) {
+	tok := k.sysEnter("bind", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	if port > 0 && port < 1024 {
 		req := &lsm.BindRequest{
 			Family: sock.Family,
@@ -80,28 +84,38 @@ func (k *Kernel) Accept(t *Task, sock *netstack.Socket, timeout time.Duration) (
 }
 
 // Connect implements connect(2).
-func (k *Kernel) Connect(t *Task, sock *netstack.Socket, dst netstack.IP, port int) error {
+func (k *Kernel) Connect(t *Task, sock *netstack.Socket, dst netstack.IP, port int) (err error) {
+	tok := k.sysEnter("connect", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return sock.Stack().Connect(sock, dst, port)
 }
 
 // Send implements send(2) on a connected stream socket.
-func (k *Kernel) Send(t *Task, sock *netstack.Socket, data []byte) (int, error) {
+func (k *Kernel) Send(t *Task, sock *netstack.Socket, data []byte) (n int, err error) {
+	tok := k.sysEnter("send", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return sock.Stack().Send(sock, data)
 }
 
 // Recv implements recv(2).
-func (k *Kernel) Recv(t *Task, sock *netstack.Socket, timeout time.Duration) ([]byte, error) {
+func (k *Kernel) Recv(t *Task, sock *netstack.Socket, timeout time.Duration) (buf []byte, err error) {
+	tok := k.sysEnter("recv", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return sock.Stack().Recv(sock, timeout)
 }
 
 // SendTo implements sendto(2) for datagram and raw sockets. Raw packets
 // pass the netfilter OUTPUT chain inside the stack.
-func (k *Kernel) SendTo(t *Task, sock *netstack.Socket, pkt *netstack.Packet) error {
+func (k *Kernel) SendTo(t *Task, sock *netstack.Socket, pkt *netstack.Packet) (err error) {
+	tok := k.sysEnter("sendto", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return sock.Stack().SendTo(sock, pkt)
 }
 
 // RecvFrom implements recvfrom(2).
-func (k *Kernel) RecvFrom(t *Task, sock *netstack.Socket, timeout time.Duration) (*netstack.Packet, error) {
+func (k *Kernel) RecvFrom(t *Task, sock *netstack.Socket, timeout time.Duration) (pkt *netstack.Packet, err error) {
+	tok := k.sysEnter("recvfrom", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	return sock.Stack().RecvFrom(sock, timeout)
 }
 
@@ -119,7 +133,9 @@ const (
 // AddRoute mediates routing table updates. Base policy: CAP_NET_ADMIN. On
 // Protego the LSM grants route additions by unprivileged pppd sessions when
 // the new route does not conflict with existing routes (§4.1.2).
-func (k *Kernel) AddRoute(t *Task, r netstack.Route) error {
+func (k *Kernel) AddRoute(t *Task, r netstack.Route) (err error) {
+	tok := k.sysEnter("addroute", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	// Routes inside a private network namespace affect nobody else: the
 	// namespace creator manages them freely (§6).
 	if ns := k.netNSOf(t); ns != nil {
@@ -147,7 +163,9 @@ func (k *Kernel) AddRoute(t *Task, r netstack.Route) error {
 
 // DelRoute mediates route removal: CAP_NET_ADMIN, or an LSM grant limited
 // to routes the same user created.
-func (k *Kernel) DelRoute(t *Task, dest netstack.IP, prefixLen int) error {
+func (k *Kernel) DelRoute(t *Task, dest netstack.IP, prefixLen int) (err error) {
+	tok := k.sysEnter("delroute", t)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
 	if ns := k.netNSOf(t); ns != nil {
 		if ns.owner != t.UID() && !t.Capable(caps.CAP_NET_ADMIN) {
 			return errno.EPERM

@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"protego/internal/trace"
+	"protego/internal/vfs"
+)
+
+// sysEnter begins tracing one syscall invocation on behalf of t, tolerating
+// a nil or kernel-less task (events are then tagged pid=0 uid=-1). The
+// returned token must be handed to Trace.SyscallExit on the return path.
+func (k *Kernel) sysEnter(name string, t *Task) trace.SyscallToken {
+	pid, uid := 0, -1
+	if t != nil {
+		pid, uid = t.PID(), t.UID()
+	}
+	return k.Trace.SyscallEnter(name, pid, uid)
+}
+
+// Trace proc paths.
+const (
+	// ProcTrace renders the retained trace events when read (the directory
+	// doubles as a synthetic file, like /proc/self on Linux doubles as a
+	// symlink).
+	ProcTrace = "/proc/trace"
+	// ProcTraceStats renders ring occupancy, latency histograms, and
+	// decision counters.
+	ProcTraceStats = ProcTrace + "/stats"
+)
+
+// InstallTraceProc exposes the tracer read-only under /proc: reading
+// /proc/trace returns the event log, /proc/trace/stats the aggregate view.
+// /proc must already exist (the world builder creates it in both modes so
+// the observability surface never skews a mode comparison).
+func (k *Kernel) InstallTraceProc() error {
+	if err := k.FS.MkdirAll(vfs.RootCred, ProcTrace, 0o555, 0, 0); err != nil {
+		return err
+	}
+	dir, err := k.FS.Lookup(vfs.RootCred, ProcTrace)
+	if err != nil {
+		return err
+	}
+	dir.ReadFn = func(vfs.Cred) ([]byte, error) {
+		return []byte(k.Trace.RenderEvents(0)), nil
+	}
+	_, err = k.FS.CreateProc(ProcTraceStats, 0o444, func(vfs.Cred) ([]byte, error) {
+		return []byte(k.Trace.RenderStats()), nil
+	}, nil)
+	return err
+}

@@ -11,7 +11,10 @@
 package lsm
 
 import (
+	"time"
+
 	"protego/internal/caps"
+	"protego/internal/trace"
 )
 
 // Task is the view of a kernel task exposed to security modules. It is
@@ -252,6 +255,11 @@ func combine(acc, d Decision) Decision {
 // permissive decision is reported to the kernel.
 type Chain struct {
 	modules []Module
+	// tracer, when set, receives one decision event per hook evaluation
+	// (tagged with the winning module) plus per-module decision counts.
+	// It is installed once at kernel construction, before any concurrent
+	// hook traffic.
+	tracer *trace.Tracer
 }
 
 // NewChain creates a chain over the given modules (evaluated in order).
@@ -265,80 +273,138 @@ func (c *Chain) Register(m Module) { c.modules = append(c.modules, m) }
 // Modules returns the registered modules in evaluation order.
 func (c *Chain) Modules() []Module { return c.modules }
 
+// SetTracer installs the trace sink for hook decisions. Must be called
+// before the chain sees concurrent traffic (the kernel does it at boot).
+func (c *Chain) SetTracer(tr *trace.Tracer) { c.tracer = tr }
+
 // Name implements Module for nested chains.
 func (c *Chain) Name() string { return "chain" }
 
 type hookFunc func(m Module) (Decision, error)
 
-func (c *Chain) run(f hookFunc) (Decision, error) {
+// run evaluates hook across the chain. A Deny — or an error, which is
+// treated as Deny — short-circuits; otherwise the strongest permissive
+// decision accumulates. The winning module (the denier, or the module
+// whose opinion raised the accumulator last) is reported to the tracer;
+// an empty winner means every module deferred to base policy.
+func (c *Chain) run(hook string, t Task, f hookFunc) (Decision, error) {
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
+	}
 	acc := NoOpinion
+	winner := ""
 	for _, m := range c.modules {
 		dec, err := f(m)
-		if dec == Deny {
+		c.count(hook, m.Name(), dec, err)
+		if dec == Deny || err != nil {
+			c.observe(hook, t, Deny, m.Name(), err, start)
 			return Deny, err
 		}
-		if err != nil {
-			return Deny, err
+		if next := combine(acc, dec); next != acc {
+			acc = next
+			winner = m.Name()
 		}
-		acc = combine(acc, dec)
 	}
+	c.observe(hook, t, acc, winner, nil, start)
 	return acc, nil
+}
+
+// count bumps the per-module decision counter for one consulted module.
+func (c *Chain) count(hook, module string, dec Decision, err error) {
+	if c.tracer == nil {
+		return
+	}
+	if err != nil {
+		dec = Deny
+	}
+	c.tracer.CountDecision(hook, module, dec.String())
+}
+
+// observe emits the hook's decision event.
+func (c *Chain) observe(hook string, t Task, dec Decision, winner string, err error, start time.Time) {
+	if c.tracer == nil {
+		return
+	}
+	pid, uid := 0, -1
+	if t != nil {
+		pid, uid = t.PID(), t.UID()
+	}
+	c.tracer.LSMDecision(hook, pid, uid, dec.String(), winner, err, time.Since(start))
 }
 
 // MountCheck runs the hook across the chain.
 func (c *Chain) MountCheck(t Task, req *MountRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.MountCheck(t, req) })
+	return c.run("MountCheck", t, func(m Module) (Decision, error) { return m.MountCheck(t, req) })
 }
 
 // UmountCheck runs the hook across the chain.
 func (c *Chain) UmountCheck(t Task, req *UmountRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.UmountCheck(t, req) })
+	return c.run("UmountCheck", t, func(m Module) (Decision, error) { return m.UmountCheck(t, req) })
 }
 
 // SocketCreate runs the hook across the chain.
 func (c *Chain) SocketCreate(t Task, req *SocketRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.SocketCreate(t, req) })
+	return c.run("SocketCreate", t, func(m Module) (Decision, error) { return m.SocketCreate(t, req) })
 }
 
 // BindCheck runs the hook across the chain.
 func (c *Chain) BindCheck(t Task, req *BindRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.BindCheck(t, req) })
+	return c.run("BindCheck", t, func(m Module) (Decision, error) { return m.BindCheck(t, req) })
 }
 
 // IoctlCheck runs the hook across the chain.
 func (c *Chain) IoctlCheck(t Task, req *IoctlRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.IoctlCheck(t, req) })
+	return c.run("IoctlCheck", t, func(m Module) (Decision, error) { return m.IoctlCheck(t, req) })
 }
 
 // SetuidCheck runs the hook across the chain.
 func (c *Chain) SetuidCheck(t Task, targetUID int) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.SetuidCheck(t, targetUID) })
+	return c.run("SetuidCheck", t, func(m Module) (Decision, error) { return m.SetuidCheck(t, targetUID) })
 }
 
 // SetgidCheck runs the hook across the chain.
 func (c *Chain) SetgidCheck(t Task, targetGID int) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.SetgidCheck(t, targetGID) })
+	return c.run("SetgidCheck", t, func(m Module) (Decision, error) { return m.SetgidCheck(t, targetGID) })
 }
 
 // ExecCheck runs the hook across the chain; the first non-nil CredUpdate is
 // kept (modules later in the chain still get to veto).
 func (c *Chain) ExecCheck(t Task, req *ExecRequest) (*CredUpdate, error) {
+	var start time.Time
+	if c.tracer != nil {
+		start = time.Now()
+	}
 	var update *CredUpdate
+	winner := ""
 	for _, m := range c.modules {
 		u, err := m.ExecCheck(t, req)
 		if err != nil {
+			c.count("ExecCheck", m.Name(), Deny, err)
+			c.observe("ExecCheck", t, Deny, m.Name(), err, start)
 			return nil, err
 		}
-		if update == nil {
+		dec := NoOpinion
+		if u != nil {
+			dec = Grant
+		}
+		c.count("ExecCheck", m.Name(), dec, nil)
+		if update == nil && u != nil {
 			update = u
+			winner = m.Name()
 		}
 	}
+	dec := NoOpinion
+	if update != nil {
+		dec = Grant
+	}
+	c.observe("ExecCheck", t, dec, winner, nil, start)
 	return update, nil
 }
 
 // FileOpen runs the hook across the chain.
 func (c *Chain) FileOpen(t Task, req *OpenRequest) (Decision, error) {
-	return c.run(func(m Module) (Decision, error) { return m.FileOpen(t, req) })
+	return c.run("FileOpen", t, func(m Module) (Decision, error) { return m.FileOpen(t, req) })
 }
 
 // ResolveGroups queries the first module implementing GroupResolver.

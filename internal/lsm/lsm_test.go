@@ -6,6 +6,7 @@ import (
 
 	"protego/internal/caps"
 	"protego/internal/errno"
+	"protego/internal/trace"
 )
 
 // scriptedModule returns fixed decisions for chain-combination tests.
@@ -18,10 +19,14 @@ type scriptedModule struct {
 	groups   []int
 	update   *CredUpdate
 	execErr  error
+
+	// mountCalls counts MountCheck invocations (short-circuit tests).
+	mountCalls int
 }
 
 func (m *scriptedModule) Name() string { return m.name }
 func (m *scriptedModule) MountCheck(Task, *MountRequest) (Decision, error) {
+	m.mountCalls++
 	return m.mount, m.mountErr
 }
 func (m *scriptedModule) SetuidCheck(Task, int) (Decision, error) { return m.setuid, nil }
@@ -175,6 +180,121 @@ func TestBaseDefaults(t *testing.T) {
 	}
 	if d, _ := b.FileOpen(task, nil); d != NoOpinion {
 		t.Fatal("FileOpen default")
+	}
+}
+
+func TestCombinePrecedence(t *testing.T) {
+	order := []Decision{NoOpinion, Grant, DeferToExec, Deny}
+	for i, weaker := range order {
+		for _, stronger := range order[i:] {
+			if got := combine(weaker, stronger); got != stronger {
+				t.Errorf("combine(%v, %v) = %v, want %v", weaker, stronger, got, stronger)
+			}
+			if got := combine(stronger, weaker); got != stronger {
+				t.Errorf("combine(%v, %v) = %v, want %v", stronger, weaker, got, stronger)
+			}
+		}
+	}
+}
+
+func TestChainDenyShortCircuits(t *testing.T) {
+	tail := &scriptedModule{name: "tail", mount: Grant}
+	c := NewChain(
+		&scriptedModule{name: "denier", mount: Deny},
+		tail,
+	)
+	dec, err := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != Deny {
+		t.Fatalf("dec=%v err=%v", dec, err)
+	}
+	if tail.mountCalls != 0 {
+		t.Fatalf("module after denier consulted %d times, want 0", tail.mountCalls)
+	}
+}
+
+func TestChainFirstErrorShortCircuits(t *testing.T) {
+	tail := &scriptedModule{name: "tail", mount: Grant}
+	c := NewChain(
+		// An error with a permissive decision still aborts the chain as
+		// Deny: a module that cannot evaluate must fail closed.
+		&scriptedModule{name: "broken", mount: Grant, mountErr: errno.EIO},
+		tail,
+	)
+	dec, err := c.MountCheck(&nullTask{}, &MountRequest{})
+	if dec != Deny || !errors.Is(err, errno.EIO) {
+		t.Fatalf("dec=%v err=%v, want Deny/EIO", dec, err)
+	}
+	if tail.mountCalls != 0 {
+		t.Fatalf("module after error consulted %d times, want 0", tail.mountCalls)
+	}
+}
+
+func TestChainTracerWinnerAndCounters(t *testing.T) {
+	tr := trace.New(64)
+	c := NewChain(
+		&scriptedModule{name: "quiet", mount: NoOpinion},
+		&scriptedModule{name: "granter", mount: Grant},
+	)
+	c.SetTracer(tr)
+	if dec, _ := c.MountCheck(&nullTask{}, &MountRequest{}); dec != Grant {
+		t.Fatalf("dec=%v", dec)
+	}
+
+	evs := tr.SnapshotKind(trace.KindLSMDecision)
+	if len(evs) != 1 {
+		t.Fatalf("decision events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "MountCheck" || ev.Module != "granter" || ev.Decision != "grant" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.PID != 1 || ev.UID != 1000 {
+		t.Fatalf("event pid/uid = %d/%d", ev.PID, ev.UID)
+	}
+
+	ctrs := tr.Counters()
+	if ctrs[trace.CounterKey{Hook: "MountCheck", Module: "quiet", Decision: "no-opinion"}] != 1 {
+		t.Fatalf("quiet counter missing: %v", ctrs)
+	}
+	if ctrs[trace.CounterKey{Hook: "MountCheck", Module: "granter", Decision: "grant"}] != 1 {
+		t.Fatalf("granter counter missing: %v", ctrs)
+	}
+	if tr.HookHistogram("MountCheck").Count != 1 {
+		t.Fatalf("hook histogram count = %d", tr.HookHistogram("MountCheck").Count)
+	}
+}
+
+func TestChainTracerDenierIsWinner(t *testing.T) {
+	tr := trace.New(64)
+	c := NewChain(
+		&scriptedModule{name: "granter", mount: Grant},
+		&scriptedModule{name: "denier", mount: Deny, mountErr: errno.EACCES},
+	)
+	c.SetTracer(tr)
+	c.MountCheck(&nullTask{}, &MountRequest{})
+	evs := tr.SnapshotKind(trace.KindLSMDecision)
+	if len(evs) != 1 || evs[0].Module != "denier" || evs[0].Decision != "deny" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Err == "" {
+		t.Fatal("deny event should carry the error")
+	}
+}
+
+func TestChainTracerExecCheck(t *testing.T) {
+	tr := trace.New(64)
+	uid := 0
+	c := NewChain(
+		&scriptedModule{name: "quiet"},
+		&scriptedModule{name: "delegator", update: &CredUpdate{UID: &uid}},
+	)
+	c.SetTracer(tr)
+	if _, err := c.ExecCheck(&nullTask{}, &ExecRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.SnapshotKind(trace.KindLSMDecision)
+	if len(evs) != 1 || evs[0].Name != "ExecCheck" || evs[0].Module != "delegator" || evs[0].Decision != "grant" {
+		t.Fatalf("events = %+v", evs)
 	}
 }
 

@@ -73,6 +73,18 @@ func (d *Daemon) bump(target string) {
 	d.mu.Unlock()
 }
 
+// traced times one reparse/push cycle, emits its trace event, and counts
+// the pass on success.
+func (d *Daemon) traced(target string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	d.k.Trace.MonitordSync(target, time.Since(start), err)
+	if err == nil {
+		d.bump(target)
+	}
+	return err
+}
+
 // writeProc writes data to a /proc policy file with root credentials (the
 // daemon is root; the file is mode 0600 root).
 func (d *Daemon) writeProc(path string, data string) error {
@@ -88,7 +100,9 @@ func (d *Daemon) writeProc(path string, data string) error {
 
 // SyncMounts translates the user entries of /etc/fstab into the kernel's
 // mount whitelist.
-func (d *Daemon) SyncMounts() error {
+func (d *Daemon) SyncMounts() error { return d.traced("mounts", d.syncMounts) }
+
+func (d *Daemon) syncMounts() error {
 	data, err := d.k.FS.ReadFile(vfs.RootCred, FstabPath)
 	if err != nil {
 		return err
@@ -105,16 +119,14 @@ func (d *Daemon) SyncMounts() error {
 		b.WriteString(r.String())
 		b.WriteByte('\n')
 	}
-	if err := d.writeProc(core.ProcMounts, b.String()); err != nil {
-		return err
-	}
-	d.bump("mounts")
-	return nil
+	return d.writeProc(core.ProcMounts, b.String())
 }
 
 // SyncDelegation concatenates /etc/sudoers and /etc/sudoers.d/* and pushes
 // the result to the kernel's delegation policy.
-func (d *Daemon) SyncDelegation() error {
+func (d *Daemon) SyncDelegation() error { return d.traced("delegation", d.syncDelegation) }
+
+func (d *Daemon) syncDelegation() error {
 	var b strings.Builder
 	data, err := d.k.FS.ReadFile(vfs.RootCred, SudoersPath)
 	if err != nil {
@@ -132,16 +144,14 @@ func (d *Daemon) SyncDelegation() error {
 			b.WriteByte('\n')
 		}
 	}
-	if err := d.writeProc(core.ProcDelegation, b.String()); err != nil {
-		return err
-	}
-	d.bump("delegation")
-	return nil
+	return d.writeProc(core.ProcDelegation, b.String())
 }
 
 // SyncBind pushes /etc/bind (usernames resolved to uids) into the kernel's
 // port allocation table.
-func (d *Daemon) SyncBind() error {
+func (d *Daemon) SyncBind() error { return d.traced("bind", d.syncBind) }
+
+func (d *Daemon) syncBind() error {
 	data, err := d.k.FS.ReadFile(vfs.RootCred, BindPath)
 	if err != nil {
 		return err
@@ -160,51 +170,47 @@ func (d *Daemon) SyncBind() error {
 		}
 		fmt.Fprintf(&b, "add %d %s %s %d\n", e.Port, e.Proto, e.Binary, u.UID)
 	}
-	if err := d.writeProc(core.ProcBind, b.String()); err != nil {
-		return err
-	}
-	d.bump("bind")
-	return nil
+	return d.writeProc(core.ProcBind, b.String())
 }
 
 // SyncPPP pushes /etc/ppp/options into the kernel's PPP policy.
-func (d *Daemon) SyncPPP() error {
+func (d *Daemon) SyncPPP() error { return d.traced("ppp", d.syncPPP) }
+
+func (d *Daemon) syncPPP() error {
 	data, err := d.k.FS.ReadFile(vfs.RootCred, PPPOptionsPath)
 	if err != nil {
 		return err
 	}
-	if err := d.writeProc(core.ProcPPP, string(data)); err != nil {
-		return err
-	}
-	d.bump("ppp")
-	return nil
+	return d.writeProc(core.ProcPPP, string(data))
 }
 
 // SyncAccountsFromFragments rebuilds the legacy shared database files from
 // the per-account fragments (called when a fragment changes — e.g. a user
 // ran passwd or chsh).
 func (d *Daemon) SyncAccountsFromFragments() error {
-	if err := accountdb.SynthesizeLegacy(d.k.FS); err != nil {
-		return err
-	}
-	if d.mod != nil {
-		d.mod.InvalidateIdentity()
-	}
-	d.bump("accounts-legacy")
-	return nil
+	return d.traced("accounts-legacy", func() error {
+		if err := accountdb.SynthesizeLegacy(d.k.FS); err != nil {
+			return err
+		}
+		if d.mod != nil {
+			d.mod.InvalidateIdentity()
+		}
+		return nil
+	})
 }
 
 // SyncAccountsToFragments re-fragments the shared files (called when the
 // legacy files change — e.g. the administrator ran vipw or added a user).
 func (d *Daemon) SyncAccountsToFragments() error {
-	if err := accountdb.Fragment(d.k.FS); err != nil {
-		return err
-	}
-	if d.mod != nil {
-		d.mod.InvalidateIdentity()
-	}
-	d.bump("accounts-fragments")
-	return nil
+	return d.traced("accounts-fragments", func() error {
+		if err := accountdb.Fragment(d.k.FS); err != nil {
+			return err
+		}
+		if d.mod != nil {
+			d.mod.InvalidateIdentity()
+		}
+		return nil
+	})
 }
 
 // SyncAll performs every synchronization once (boot-time initialization).

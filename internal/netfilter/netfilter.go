@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"protego/internal/netstack"
+	"protego/internal/trace"
 )
 
 // Verdict aliases netstack's filter verdict for rule construction.
@@ -148,6 +149,10 @@ type Table struct {
 
 	// Matched counts rule hits for observability.
 	Matched map[string]int
+
+	// tracer, when set, receives one verdict event per filtered packet.
+	// Installed once at kernel construction, before packet traffic starts.
+	tracer *trace.Tracer
 }
 
 // NewTable creates a filter table with an empty, accept-by-default OUTPUT
@@ -160,6 +165,10 @@ func NewTable() *Table {
 	t.chains["OUTPUT"] = &Chain{Name: "OUTPUT", Policy: Accept}
 	return t
 }
+
+// SetTracer installs the trace sink for packet verdicts. Must be called
+// before the table sees packet traffic (the kernel does it at boot).
+func (t *Table) SetTracer(tr *trace.Tracer) { t.tracer = tr }
 
 // Append adds a rule to the end of chain.
 func (t *Table) Append(chain string, r *Rule) error {
@@ -223,10 +232,20 @@ func (t *Table) Output(pkt *netstack.Packet) Verdict {
 			t.mu.Lock()
 			t.Matched[r.Name]++
 			t.mu.Unlock()
+			t.tracer.NetfilterVerdict("OUTPUT", r.Name, verdictName(r.Verdict), pkt.SenderUID)
 			return r.Verdict
 		}
 	}
+	t.tracer.NetfilterVerdict("OUTPUT", "", verdictName(policy), pkt.SenderUID)
 	return policy
+}
+
+// verdictName renders a verdict in iptables target style.
+func verdictName(v Verdict) string {
+	if v == Drop {
+		return "DROP"
+	}
+	return "ACCEPT"
 }
 
 // List renders the whole table in iptables -S style.

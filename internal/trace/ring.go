@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Ring is a fixed-capacity, overwrite-oldest event buffer. The write cursor
+// is a single atomic counter, so claiming a slot never contends on a lock
+// shared with other writers; each slot carries its own tiny mutex that only
+// serializes the (rare) case of a writer lapping a concurrent reader or a
+// slower writer on the same slot. Capacity is always a power of two so the
+// slot index is a mask, not a division.
+type Ring struct {
+	slots []Event
+	locks []sync.Mutex
+	mask  uint64
+	// cursor is the next sequence number to be claimed; it only grows.
+	cursor atomic.Uint64
+}
+
+// NewRing creates a ring with at least the requested capacity, rounded up
+// to a power of two (minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{
+		slots: make([]Event, n),
+		locks: make([]sync.Mutex, n),
+		mask:  uint64(n - 1),
+	}
+}
+
+// Cap returns the ring capacity (a power of two).
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Append claims the next sequence number and stores the event, overwriting
+// the event cap slots older. It returns the assigned sequence number.
+func (r *Ring) Append(ev Event) uint64 {
+	seq := r.cursor.Add(1) - 1
+	ev.Seq = seq
+	i := seq & r.mask
+	r.locks[i].Lock()
+	// A slower writer holding an older claim for this slot must not
+	// clobber a newer event that already landed (the cursor, not arrival
+	// order, defines age).
+	if r.slots[i].Seq <= seq || r.slots[i].Time.IsZero() {
+		r.slots[i] = ev
+	}
+	r.locks[i].Unlock()
+	return seq
+}
+
+// Emitted returns the total number of events ever appended.
+func (r *Ring) Emitted() uint64 { return r.cursor.Load() }
+
+// Dropped returns how many events have been overwritten (emitted beyond
+// capacity). Concurrent in-flight writes may transiently make the retained
+// snapshot smaller than Emitted-Dropped; once writers quiesce the identity
+// retained == Emitted() - Dropped() holds exactly.
+func (r *Ring) Dropped() uint64 {
+	n := r.cursor.Load()
+	c := uint64(len(r.slots))
+	if n <= c {
+		return 0
+	}
+	return n - c
+}
+
+// Snapshot copies the retained events in sequence order (oldest first).
+// Slots mid-overwrite by a concurrent writer are skipped rather than
+// returned torn.
+func (r *Ring) Snapshot() []Event {
+	cur := r.cursor.Load()
+	c := uint64(len(r.slots))
+	start := uint64(0)
+	if cur > c {
+		start = cur - c
+	}
+	out := make([]Event, 0, cur-start)
+	for seq := start; seq < cur; seq++ {
+		i := seq & r.mask
+		r.locks[i].Lock()
+		ev := r.slots[i]
+		r.locks[i].Unlock()
+		// The slot may hold an older event (writer claimed seq but has
+		// not stored yet) or a newer one (we were lapped); keep only
+		// events still inside the snapshot window, dropping duplicates
+		// below.
+		if ev.Time.IsZero() || ev.Seq < start || ev.Seq >= cur {
+			continue
+		}
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	// Deduplicate: lapped reads can observe the same slot generation via
+	// two window positions.
+	dedup := out[:0]
+	for i, ev := range out {
+		if i == 0 || ev.Seq != out[i-1].Seq {
+			dedup = append(dedup, ev)
+		}
+	}
+	return dedup
+}

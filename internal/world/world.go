@@ -101,6 +101,12 @@ func Build(opts Options) (*Machine, error) {
 		return nil, fmt.Errorf("world: binaries: %w", err)
 	}
 
+	// The trace interface is installed in both configurations so the
+	// observability surface itself never skews a mode comparison.
+	if err := k.InstallTraceProc(); err != nil {
+		return nil, fmt.Errorf("world: trace proc: %w", err)
+	}
+
 	// AppArmor is present in both configurations (the baseline is
 	// "Linux with AppArmor"; Protego extends it).
 	m.AppArmor = apparmor.New()
@@ -110,6 +116,7 @@ func Build(opts Options) (*Machine, error) {
 	}
 
 	m.Auth = authsvc.New(m.DB)
+	m.Auth.SetTracer(k.Trace)
 	if opts.Mode == kernel.ModeProtego {
 		// Protego targets current kernels: unprivileged user+network
 		// namespaces are available (Linux >= 3.8, §4.6), so even
