@@ -68,6 +68,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\n--- %s (read in-simulation) ---\n%s", kernel.ProcTraceStats, stats)
+
+	ds := m.K.FS.DcacheStats()
+	fmt.Printf("\nfast paths: dcache %d hits / %d misses (ratio %.4f), %d invalidated, %d cached\n",
+		ds.Hits, ds.Misses, ds.HitRatio(), ds.Invalidates, ds.Entries)
 }
 
 // runWorkload replays the quickstart scenario so every producer emits:

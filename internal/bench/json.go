@@ -20,13 +20,14 @@ import (
 // so the trace histograms — not ad-hoc stopwatches — are the timing source
 // for the distribution data.
 type Report struct {
-	Tool       string         `json:"tool"`
-	Quick      bool           `json:"quick"`
-	Benchmarks []BenchRow     `json:"benchmarks"`
-	Emission   EmissionReport `json:"trace_emission"`
-	Syscalls   []HistRow      `json:"syscall_histograms"`
-	LSMHooks   []HistRow      `json:"lsm_hook_histograms"`
-	Decisions  []DecisionRow  `json:"lsm_decisions"`
+	Tool       string          `json:"tool"`
+	Quick      bool            `json:"quick"`
+	Benchmarks []BenchRow      `json:"benchmarks"`
+	Emission   EmissionReport  `json:"trace_emission"`
+	Fastpath   *FastpathReport `json:"fastpath"`
+	Syscalls   []HistRow       `json:"syscall_histograms"`
+	LSMHooks   []HistRow       `json:"lsm_hook_histograms"`
+	Decisions  []DecisionRow   `json:"lsm_decisions"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit
@@ -185,6 +186,15 @@ func BuildReport(rows []Row, quick bool) (*Report, error) {
 		rep.Benchmarks = append(rep.Benchmarks, br)
 	}
 	rep.Emission = MeasureTraceEmission(0)
+	fpIters := 0
+	if quick {
+		fpIters = 200
+	}
+	fp, err := MeasureFastpath(fpIters)
+	if err != nil {
+		return nil, err
+	}
+	rep.Fastpath = fp
 	syscalls, hooks, decisions, err := CollectTraceTimings()
 	if err != nil {
 		return nil, err

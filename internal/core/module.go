@@ -17,6 +17,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"protego/internal/accountdb"
 	"protego/internal/authsvc"
@@ -42,6 +43,15 @@ type Module struct {
 	sudoers    *policy.Sudoers
 	ppp        *policy.PPPOptions
 	fileGrants map[string][]string // path -> binaries allowed despite DAC
+
+	// Compiled mount-whitelist indexes, rebuilt on every rule change so
+	// MountCheck/UmountCheck are map probes instead of linear scans.
+	mountIdx    map[mountKey][]compiledMountRule
+	umountUsers map[string]bool // mount points carrying "users"
+
+	// mountIdxHits counts MountCheck decisions resolved via the compiled
+	// index (exported through the tracer as "mountidx.hit").
+	mountIdxHits atomic.Uint64
 
 	// Feature toggles; all default to the paper's configuration.
 	allowUnprivRaw    bool
@@ -94,6 +104,7 @@ func New(k *kernel.Kernel, db *accountdb.DB, auth *authsvc.Service) *Module {
 // netfilter rules.
 func (m *Module) Install() error {
 	m.k.LSM.Register(m)
+	m.k.Trace.RegisterCounter("mountidx.hit", m.mountIdxHits.Load)
 	if err := m.setupProc(); err != nil {
 		return err
 	}

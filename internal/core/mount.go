@@ -31,14 +31,26 @@ var safeUserMountOptions = map[string]bool{
 	"user": true, "users": true, "noauto": true, "sync": true,
 }
 
-// matches reports whether a mount request is covered by the rule.
-func (r *MountRule) matches(req *lsm.MountRequest) bool {
-	if req.Device != r.Device || req.Point != r.MountPoint {
-		return false
-	}
-	if r.FSType != "" && r.FSType != "auto" && req.FSType != r.FSType && req.FSType != "auto" {
-		return false
-	}
+// mountKey is the compiled whitelist's dispatch key: every rule pins both
+// a device and a mount point, so the per-call check reduces to one map
+// probe plus the fstype/option comparison of the (usually single)
+// candidate row.
+type mountKey struct {
+	device string
+	point  string
+}
+
+// compiledMountRule is one whitelist row with its allowed-options set
+// precomputed at install time — the per-call map allocation the linear
+// scan paid on every mount(2) is paid once per rule change instead.
+type compiledMountRule struct {
+	fsType  string
+	allowed map[string]bool
+}
+
+// compileMountRule precomputes the rule's allowed-options set (the rule's
+// own options merged with safeUserMountOptions).
+func compileMountRule(r *MountRule) compiledMountRule {
 	allowed := make(map[string]bool, len(r.Options)+len(safeUserMountOptions))
 	for o := range safeUserMountOptions {
 		allowed[o] = true
@@ -46,12 +58,38 @@ func (r *MountRule) matches(req *lsm.MountRequest) bool {
 	for _, o := range r.Options {
 		allowed[o] = true
 	}
+	return compiledMountRule{fsType: r.FSType, allowed: allowed}
+}
+
+// matches reports whether the request's fstype and options are covered;
+// device and mount point were already matched by the index key.
+func (r *compiledMountRule) matches(req *lsm.MountRequest) bool {
+	if r.fsType != "" && r.fsType != "auto" && req.FSType != r.fsType && req.FSType != "auto" {
+		return false
+	}
 	for _, o := range req.Options {
-		if !allowed[o] {
+		if !r.allowed[o] {
 			return false
 		}
 	}
 	return true
+}
+
+// rebuildMountIndexLocked recompiles the whitelist indexes from m.mounts.
+// Caller holds m.mu exclusively.
+func (m *Module) rebuildMountIndexLocked() {
+	idx := make(map[mountKey][]compiledMountRule, len(m.mounts))
+	users := make(map[string]bool)
+	for i := range m.mounts {
+		r := &m.mounts[i]
+		key := mountKey{device: r.Device, point: r.MountPoint}
+		idx[key] = append(idx[key], compileMountRule(r))
+		if r.AnyUserUnmount {
+			users[r.MountPoint] = true
+		}
+	}
+	m.mountIdx = idx
+	m.umountUsers = users
 }
 
 // String renders the rule in the /proc grammar's field order.
@@ -71,17 +109,34 @@ func (r *MountRule) String() string {
 	return fmt.Sprintf("%s %s %s %s %s", r.Device, r.MountPoint, fstype, opts, who)
 }
 
-// SetMountRules replaces the whitelist.
+// SetMountRules replaces the whitelist and recompiles the dispatch index.
 func (m *Module) SetMountRules(rules []MountRule) {
 	m.mu.Lock()
 	m.mounts = append([]MountRule(nil), rules...)
+	m.rebuildMountIndexLocked()
 	m.mu.Unlock()
 }
 
-// AddMountRule appends one rule.
+// AddMountRule appends one rule and recompiles the dispatch index.
 func (m *Module) AddMountRule(r MountRule) {
 	m.mu.Lock()
 	m.mounts = append(m.mounts, r)
+	m.rebuildMountIndexLocked()
+	m.mu.Unlock()
+}
+
+// RemoveMountRules deletes every rule matching (device, point) and
+// recompiles the dispatch index (the /proc grammar's "del" verb).
+func (m *Module) RemoveMountRules(device, point string) {
+	m.mu.Lock()
+	kept := m.mounts[:0]
+	for _, r := range m.mounts {
+		if !(r.Device == device && r.MountPoint == point) {
+			kept = append(kept, r)
+		}
+	}
+	m.mounts = kept
+	m.rebuildMountIndexLocked()
 	m.mu.Unlock()
 }
 
@@ -132,14 +187,20 @@ func (m *Module) MountCheck(t lsm.Task, req *lsm.MountRequest) (lsm.Decision, er
 		return lsm.NoOpinion, nil
 	}
 	m.mu.RLock()
+	cands := m.mountIdx[mountKey{device: req.Device, point: req.Point}]
+	m.mu.RUnlock()
+	if len(cands) > 0 {
+		// The (device, point) probe found whitelist rows: the decision is
+		// resolved from the compiled index without scanning the table.
+		m.mountIdxHits.Add(1)
+	}
 	matched := false
-	for i := range m.mounts {
-		if m.mounts[i].matches(req) {
+	for i := range cands {
+		if cands[i].matches(req) {
 			matched = true
 			break
 		}
 	}
-	m.mu.RUnlock()
 	if matched {
 		m.bumpStat(&m.Stats.MountGrants)
 		return lsm.Grant, nil
@@ -161,12 +222,10 @@ func (m *Module) UmountCheck(t lsm.Task, req *lsm.UmountRequest) (lsm.Decision, 
 		return lsm.Grant, nil
 	}
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	for i := range m.mounts {
-		r := &m.mounts[i]
-		if r.MountPoint == req.Point && r.AnyUserUnmount {
-			return lsm.Grant, nil
-		}
+	anyUser := m.umountUsers[req.Point]
+	m.mu.RUnlock()
+	if anyUser {
+		return lsm.Grant, nil
 	}
 	return lsm.NoOpinion, nil
 }

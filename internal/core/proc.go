@@ -93,16 +93,7 @@ func (m *Module) writeMounts(c vfs.Cred, data []byte) error {
 			if len(cmd.Args) != 2 {
 				return errno.EINVAL
 			}
-			m.mu.Lock()
-			point := vfs.CleanPath(cmd.Args[1], "/")
-			kept := m.mounts[:0]
-			for _, r := range m.mounts {
-				if !(r.Device == cmd.Args[0] && r.MountPoint == point) {
-					kept = append(kept, r)
-				}
-			}
-			m.mounts = kept
-			m.mu.Unlock()
+			m.RemoveMountRules(cmd.Args[0], vfs.CleanPath(cmd.Args[1], "/"))
 		case "clear":
 			m.SetMountRules(nil)
 		}

@@ -84,6 +84,13 @@ func New(mode Mode, hostIP netstack.IP) *Kernel {
 	k.Net.SetFilter(k.Filter)
 	k.LSM.SetTracer(k.Trace)
 	k.Filter.SetTracer(k.Trace)
+	// Surface the VFS dentry-cache counters as fast-path counters in
+	// /proc/trace/stats; the FS owns the hot atomics, the tracer reads
+	// them lazily.
+	fs := k.FS
+	k.Trace.RegisterCounter("dcache.hit", func() uint64 { return fs.DcacheStats().Hits })
+	k.Trace.RegisterCounter("dcache.miss", func() uint64 { return fs.DcacheStats().Misses })
+	k.Trace.RegisterCounter("dcache.invalidate", func() uint64 { return fs.DcacheStats().Invalidates })
 	return k
 }
 

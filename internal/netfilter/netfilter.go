@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"protego/internal/netstack"
 	"protego/internal/trace"
@@ -139,6 +140,52 @@ type Chain struct {
 	Name   string
 	Policy Verdict
 	rules  []*Rule
+	idx    *chainIndex
+}
+
+// protoPort keys the most specific dispatch bucket.
+type protoPort struct {
+	proto int
+	port  int
+}
+
+// chainIndex is the compiled dispatch index over a chain's rules. Each
+// bucket holds rule positions in ascending order, so merging the (at most
+// three) buckets a packet can hit reproduces first-match-wins semantics
+// while skipping every rule that could not match the packet:
+//
+//   - byProtoPort: rules pinning a protocol and destination ports, one
+//     entry per (proto, port) pair
+//   - byProto: rules pinning a protocol but no ports
+//   - generic: protocol-wildcard rules, candidates for every packet
+type chainIndex struct {
+	byProtoPort map[protoPort][]int
+	byProto     map[int][]int
+	generic     []int
+}
+
+// rebuildIndexLocked recompiles the dispatch index from c.rules. Caller
+// holds the table lock exclusively. Rules are visited in order, so every
+// bucket is sorted by rule position.
+func (c *Chain) rebuildIndexLocked() {
+	idx := &chainIndex{
+		byProtoPort: make(map[protoPort][]int),
+		byProto:     make(map[int][]int),
+	}
+	for i, r := range c.rules {
+		switch {
+		case r.Proto == AnyProto || r.Proto == 0:
+			idx.generic = append(idx.generic, i)
+		case len(r.DstPorts) > 0:
+			for _, p := range r.DstPorts {
+				key := protoPort{proto: r.Proto, port: p}
+				idx.byProtoPort[key] = append(idx.byProtoPort[key], i)
+			}
+		default:
+			idx.byProto[r.Proto] = append(idx.byProto[r.Proto], i)
+		}
+	}
+	c.idx = idx
 }
 
 // Table is a set of chains; the simulation uses a single "filter" table
@@ -153,6 +200,10 @@ type Table struct {
 	// tracer, when set, receives one verdict event per filtered packet.
 	// Installed once at kernel construction, before packet traffic starts.
 	tracer *trace.Tracer
+
+	// fastpath counts packets whose verdict was reached after the compiled
+	// index pruned at least one rule (exported as "nfidx.fastpath").
+	fastpath atomic.Uint64
 }
 
 // NewTable creates a filter table with an empty, accept-by-default OUTPUT
@@ -162,15 +213,21 @@ func NewTable() *Table {
 		chains:  make(map[string]*Chain),
 		Matched: make(map[string]int),
 	}
-	t.chains["OUTPUT"] = &Chain{Name: "OUTPUT", Policy: Accept}
+	out := &Chain{Name: "OUTPUT", Policy: Accept}
+	out.rebuildIndexLocked()
+	t.chains["OUTPUT"] = out
 	return t
 }
 
 // SetTracer installs the trace sink for packet verdicts. Must be called
 // before the table sees packet traffic (the kernel does it at boot).
-func (t *Table) SetTracer(tr *trace.Tracer) { t.tracer = tr }
+func (t *Table) SetTracer(tr *trace.Tracer) {
+	t.tracer = tr
+	tr.RegisterCounter("nfidx.fastpath", t.fastpath.Load)
+}
 
-// Append adds a rule to the end of chain.
+// Append adds a rule to the end of chain and recompiles the chain's
+// dispatch index.
 func (t *Table) Append(chain string, r *Rule) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -179,10 +236,12 @@ func (t *Table) Append(chain string, r *Rule) error {
 		return fmt.Errorf("netfilter: no chain %q", chain)
 	}
 	c.rules = append(c.rules, r)
+	c.rebuildIndexLocked()
 	return nil
 }
 
-// Flush removes all rules from chain.
+// Flush removes all rules from chain and recompiles the chain's dispatch
+// index.
 func (t *Table) Flush(chain string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -191,6 +250,7 @@ func (t *Table) Flush(chain string) error {
 		return fmt.Errorf("netfilter: no chain %q", chain)
 	}
 	c.rules = nil
+	c.rebuildIndexLocked()
 	return nil
 }
 
@@ -220,14 +280,45 @@ func (t *Table) Rules(chain string) []*Rule {
 }
 
 // Output implements netstack.OutputFilter: the first matching rule's
-// verdict applies; otherwise the chain policy.
+// verdict applies; otherwise the chain policy. Candidate rules come from
+// the compiled dispatch index — the (proto, dst-port) bucket, the proto
+// bucket, and the generic bucket — merged in ascending rule order so the
+// verdict is identical to a full first-match scan.
 func (t *Table) Output(pkt *netstack.Packet) Verdict {
 	t.mu.RLock()
 	c := t.chains["OUTPUT"]
 	rules := c.rules
+	idx := c.idx
 	policy := c.Policy
 	t.mu.RUnlock()
-	for _, r := range rules {
+	pp := idx.byProtoPort[protoPort{proto: pkt.Proto, port: pkt.DstPort}]
+	bp := idx.byProto[pkt.Proto]
+	gen := idx.generic
+	if len(pp)+len(bp)+len(gen) < len(rules) {
+		t.fastpath.Add(1)
+	}
+	a, b, g := 0, 0, 0
+	for a < len(pp) || b < len(bp) || g < len(gen) {
+		i := int(^uint(0) >> 1)
+		if a < len(pp) && pp[a] < i {
+			i = pp[a]
+		}
+		if b < len(bp) && bp[b] < i {
+			i = bp[b]
+		}
+		if g < len(gen) && gen[g] < i {
+			i = gen[g]
+		}
+		if a < len(pp) && pp[a] == i {
+			a++
+		}
+		if b < len(bp) && bp[b] == i {
+			b++
+		}
+		if g < len(gen) && gen[g] == i {
+			g++
+		}
+		r := rules[i]
 		if r.matches(pkt) {
 			t.mu.Lock()
 			t.Matched[r.Name]++

@@ -45,6 +45,10 @@ type Sudoers struct {
 	// TimestampTimeout is the authentication recency window (sudo's
 	// default of 5 minutes).
 	TimestampTimeout time.Duration
+
+	// idx is the compiled dispatch index built by Compile; nil falls back
+	// to the alias-expanding scan (hand-built Sudoers values still work).
+	idx *sudoIndex
 }
 
 // DefaultTimestampTimeout is sudo's classic 5-minute window (§4.3: "sudo
@@ -97,6 +101,7 @@ func ParseSudoers(data string) (*Sudoers, error) {
 			s.Rules = append(s.Rules, rule)
 		}
 	}
+	s.Compile()
 	return s, nil
 }
 
@@ -300,6 +305,21 @@ type Grant struct {
 // question: "could this task exec at least one permissible binary as the
 // pending user?" (§4.3).
 func (s *Sudoers) LookupTransition(user string, groups []string, target string) (Grant, bool) {
+	if s.idx != nil {
+		for _, i := range s.idx.candidates(user, groups) {
+			cr := &s.idx.rules[i]
+			if !cr.runasMatch(target) {
+				continue
+			}
+			rule := &s.Rules[i]
+			return Grant{
+				Rule:       rule,
+				NoPasswd:   rule.NoPasswd,
+				AnyCommand: cr.anyCmd || cr.litAll,
+			}, true
+		}
+		return Grant{}, false
+	}
 	for i := range s.Rules {
 		rule := &s.Rules[i]
 		if !s.userMatches(rule.User, user, groups) {
@@ -329,6 +349,17 @@ func hasALL(cmds []string) bool {
 // LookupCommand finds a rule permitting user to run cmd as target — the
 // exec-time half of setuid-on-exec enforcement.
 func (s *Sudoers) LookupCommand(user string, groups []string, target, cmd string) (Grant, bool) {
+	if s.idx != nil {
+		for _, i := range s.idx.candidates(user, groups) {
+			cr := &s.idx.rules[i]
+			if !cr.runasMatch(target) || !cr.cmdMatch(cmd) {
+				continue
+			}
+			rule := &s.Rules[i]
+			return Grant{Rule: rule, NoPasswd: rule.NoPasswd, AnyCommand: cr.litAll}, true
+		}
+		return Grant{}, false
+	}
 	for i := range s.Rules {
 		rule := &s.Rules[i]
 		if !s.userMatches(rule.User, user, groups) {

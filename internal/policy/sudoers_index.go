@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"sort"
+	"strings"
+)
+
+// compiledSudoRule is one delegation rule with its alias expansions
+// resolved into lookup sets, so the per-call checks are map probes
+// instead of recursive alias walks.
+type compiledSudoRule struct {
+	anyRunas bool
+	runas    map[string]bool
+	// anyCmd: some expanded command spec is ALL. litAll: the unexpanded
+	// command list contains a literal ALL (what Grant.AnyCommand reports
+	// from LookupCommand; LookupTransition reports anyCmd || litAll,
+	// matching the uncompiled predicates exactly).
+	anyCmd   bool
+	litAll   bool
+	cmdPaths map[string]bool
+	cmdDirs  []string // directory specs ("/usr/bin/"): prefix-matched
+}
+
+// sudoIndex dispatches delegation lookups by requesting principal. Each
+// bucket holds rule positions in ascending order; merging the buckets a
+// caller can hit preserves first-match-wins.
+type sudoIndex struct {
+	rules   []compiledSudoRule
+	byUser  map[string][]int
+	byGroup map[string][]int
+	anyUser []int
+}
+
+// Compile resolves every alias once and builds the per-user/per-group
+// dispatch index. ParseSudoers calls it automatically; callers that build
+// a Sudoers by hand may call it too, or rely on the uncompiled slow path.
+func (s *Sudoers) Compile() {
+	idx := &sudoIndex{
+		rules:   make([]compiledSudoRule, len(s.Rules)),
+		byUser:  make(map[string][]int),
+		byGroup: make(map[string][]int),
+	}
+	for i := range s.Rules {
+		rule := &s.Rules[i]
+		for _, u := range expand(rule.User, s.UserAliases) {
+			switch {
+			case u == "ALL":
+				idx.anyUser = append(idx.anyUser, i)
+			case strings.HasPrefix(u, "%"):
+				g := strings.TrimPrefix(u, "%")
+				idx.byGroup[g] = append(idx.byGroup[g], i)
+			default:
+				idx.byUser[u] = append(idx.byUser[u], i)
+			}
+		}
+		cr := &idx.rules[i]
+		cr.runas = make(map[string]bool, len(rule.RunAs))
+		for _, r := range rule.RunAs {
+			for _, rr := range expand(r, s.RunAsAliases) {
+				if rr == "ALL" {
+					cr.anyRunas = true
+				} else {
+					cr.runas[rr] = true
+				}
+			}
+		}
+		cr.litAll = hasALL(rule.Commands)
+		cr.cmdPaths = make(map[string]bool, len(rule.Commands))
+		for _, c := range rule.Commands {
+			for _, cc := range expand(c, s.CmndAliases) {
+				if cc == "ALL" {
+					cr.anyCmd = true
+					continue
+				}
+				path := strings.Fields(cc)[0]
+				if strings.HasSuffix(path, "/") {
+					cr.cmdDirs = append(cr.cmdDirs, path)
+				}
+				cr.cmdPaths[path] = true
+			}
+		}
+	}
+	s.idx = idx
+}
+
+// candidates returns, in rule order without duplicates, the positions of
+// every rule whose User field covers the caller.
+func (idx *sudoIndex) candidates(user string, groups []string) []int {
+	cands := append([]int(nil), idx.byUser[user]...)
+	for _, g := range groups {
+		cands = append(cands, idx.byGroup[g]...)
+	}
+	cands = append(cands, idx.anyUser...)
+	sort.Ints(cands)
+	out := cands[:0]
+	prev := -1
+	for _, i := range cands {
+		if i != prev {
+			out = append(out, i)
+			prev = i
+		}
+	}
+	return out
+}
+
+func (cr *compiledSudoRule) runasMatch(target string) bool {
+	return cr.anyRunas || cr.runas[target]
+}
+
+func (cr *compiledSudoRule) cmdMatch(cmd string) bool {
+	if cr.anyCmd || cr.cmdPaths[cmd] {
+		return true
+	}
+	for _, d := range cr.cmdDirs {
+		if strings.HasPrefix(cmd, d) {
+			return true
+		}
+	}
+	return false
+}

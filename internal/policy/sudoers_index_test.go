@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"testing"
+)
+
+const indexedSudoers = `
+User_Alias ADMINS = alice, %wheel
+Cmnd_Alias EDITORS = /usr/bin/vi, /usr/bin/nano args here
+Runas_Alias OPS = root, operator
+
+ADMINS ALL = (OPS) EDITORS
+bob    ALL = (ALL) NOPASSWD: /usr/sbin/
+%audit ALL = (root) /usr/bin/last
+carol  ALL = (root) ALL
+ALL    ALL = (root) /bin/ping
+`
+
+// TestCompiledLookupMatchesSlowPath drives the compiled index and the
+// alias-expanding scan over the same query matrix and requires identical
+// answers — grant/deny, matched rule, and every Grant field.
+func TestCompiledLookupMatchesSlowPath(t *testing.T) {
+	s, err := ParseSudoers(indexedSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.idx == nil {
+		t.Fatal("ParseSudoers did not compile the index")
+	}
+	slow := *s
+	slow.idx = nil
+
+	users := []string{"alice", "bob", "carol", "dave", "eve"}
+	groupSets := [][]string{nil, {"wheel"}, {"audit"}, {"wheel", "audit"}, {"users"}}
+	targets := []string{"root", "operator", "alice", "nobody"}
+	cmds := []string{"/usr/bin/vi", "/usr/bin/nano", "/usr/sbin/useradd",
+		"/usr/bin/last", "/bin/ping", "/bin/sh", "/usr/sbin/"}
+
+	for _, u := range users {
+		for _, gs := range groupSets {
+			for _, tgt := range targets {
+				fg, fok := s.LookupTransition(u, gs, tgt)
+				sg, sok := slow.LookupTransition(u, gs, tgt)
+				if fok != sok || fg != sg {
+					t.Errorf("LookupTransition(%s,%v,%s): fast (%+v,%v) != slow (%+v,%v)",
+						u, gs, tgt, fg, fok, sg, sok)
+				}
+				for _, cmd := range cmds {
+					fg, fok := s.LookupCommand(u, gs, tgt, cmd)
+					sg, sok := slow.LookupCommand(u, gs, tgt, cmd)
+					if fok != sok || fg != sg {
+						t.Errorf("LookupCommand(%s,%v,%s,%s): fast (%+v,%v) != slow (%+v,%v)",
+							u, gs, tgt, cmd, fg, fok, sg, sok)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledLookupSemantics(t *testing.T) {
+	s, err := ParseSudoers(indexedSudoers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alias member by name.
+	if g, ok := s.LookupCommand("alice", nil, "operator", "/usr/bin/vi"); !ok || g.NoPasswd {
+		t.Fatalf("alice vi as operator: %+v %v", g, ok)
+	}
+	// Alias member by group.
+	if _, ok := s.LookupCommand("frank", []string{"wheel"}, "root", "/usr/bin/nano"); !ok {
+		t.Fatal("wheel member denied EDITORS")
+	}
+	// Directory spec is a prefix match.
+	if g, ok := s.LookupCommand("bob", nil, "alice", "/usr/sbin/useradd"); !ok || !g.NoPasswd {
+		t.Fatalf("bob useradd: %+v %v", g, ok)
+	}
+	if _, ok := s.LookupCommand("bob", nil, "alice", "/usr/bin/vi"); ok {
+		t.Fatal("bob vi should be denied (outside /usr/sbin/)")
+	}
+	// ALL command grants any command and reports AnyCommand.
+	if g, ok := s.LookupTransition("carol", nil, "root"); !ok || !g.AnyCommand {
+		t.Fatalf("carol transition: %+v %v", g, ok)
+	}
+	// ALL user row matches anyone, but only for its command.
+	if _, ok := s.LookupCommand("eve", nil, "root", "/bin/ping"); !ok {
+		t.Fatal("ALL-user ping rule should match eve")
+	}
+	if _, ok := s.LookupCommand("eve", nil, "root", "/bin/sh"); ok {
+		t.Fatal("eve /bin/sh should be denied")
+	}
+	// Runas outside the rule's list is denied.
+	if _, ok := s.LookupCommand("alice", nil, "nobody", "/usr/bin/vi"); ok {
+		t.Fatal("alice as nobody should be denied")
+	}
+}

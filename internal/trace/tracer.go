@@ -36,6 +36,13 @@ type Tracer struct {
 
 	ctrMu    sync.Mutex
 	counters map[CounterKey]uint64
+
+	// fastpath holds lazily-read monotonic counters registered by the
+	// kernel's fast-path layers (dcache, compiled policy indexes). The
+	// owning subsystem keeps the hot atomic; the tracer only reads it at
+	// snapshot/render time, so registration adds zero hot-path cost.
+	fpMu     sync.RWMutex
+	fastpath map[string]func() uint64
 }
 
 // New creates a tracer whose ring holds at least capacity events
@@ -48,7 +55,39 @@ func New(capacity int) *Tracer {
 		ring:     NewRing(capacity),
 		hists:    make(map[string]*Histogram),
 		counters: make(map[CounterKey]uint64),
+		fastpath: make(map[string]func() uint64),
 	}
+}
+
+// RegisterCounter registers a named fast-path counter whose value is read
+// lazily (at render/snapshot time) through the supplied function. The
+// subsystem owning the counter keeps the hot atomic and pays nothing per
+// event. Registering an existing name replaces the reader.
+func (tr *Tracer) RegisterCounter(name string, read func() uint64) {
+	if tr == nil || read == nil {
+		return
+	}
+	tr.fpMu.Lock()
+	tr.fastpath[name] = read
+	tr.fpMu.Unlock()
+}
+
+// FastpathCounters reads every registered fast-path counter.
+func (tr *Tracer) FastpathCounters() map[string]uint64 {
+	if tr == nil {
+		return nil
+	}
+	tr.fpMu.RLock()
+	readers := make(map[string]func() uint64, len(tr.fastpath))
+	for k, f := range tr.fastpath {
+		readers[k] = f
+	}
+	tr.fpMu.RUnlock()
+	out := make(map[string]uint64, len(readers))
+	for k, f := range readers {
+		out[k] = f()
+	}
+	return out
 }
 
 // Emit stamps and appends an arbitrary event.
@@ -348,6 +387,21 @@ func (tr *Tracer) RenderStats() string {
 		b.WriteString("\ndecision counters:\n")
 		for _, k := range ckeys {
 			fmt.Fprintf(&b, "  %-24s %-16s %-14s %d\n", k.Hook, k.Module, k.Decision, ctrs[k])
+		}
+	}
+
+	if fp := tr.FastpathCounters(); len(fp) > 0 {
+		fkeys := make([]string, 0, len(fp))
+		for k := range fp {
+			fkeys = append(fkeys, k)
+		}
+		sort.Strings(fkeys)
+		b.WriteString("\nfastpath counters:\n")
+		for _, k := range fkeys {
+			fmt.Fprintf(&b, "  %-24s %d\n", k, fp[k])
+		}
+		if total := fp["dcache.hit"] + fp["dcache.miss"]; total > 0 {
+			fmt.Fprintf(&b, "  %-24s %.4f\n", "dcache.hit_ratio", float64(fp["dcache.hit"])/float64(total))
 		}
 	}
 	return b.String()

@@ -1,6 +1,7 @@
 package vfs
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +16,10 @@ type FS struct {
 	mu      sync.RWMutex
 	root    *Inode
 	nextIno uint64
+
+	// dcache caches repeat path resolutions; structural mutations
+	// invalidate affected prefixes (see dcache.go for the precise rules).
+	dcache *dcache
 
 	watches   []*Watch
 	watchSeq  int
@@ -43,7 +48,7 @@ var RootCred Cred = rootCred{}
 // New creates an empty file system whose root directory is owned by root
 // with mode 0755.
 func New() *FS {
-	fs := &FS{nextIno: 1, mountSave: make(map[string][]savedDir)}
+	fs := &FS{nextIno: 1, mountSave: make(map[string][]savedDir), dcache: newDcache()}
 	fs.root = fs.newInode(TypeDir|0o755, 0, 0)
 	fs.root.children = make(map[string]*Inode)
 	return fs
@@ -70,6 +75,14 @@ func (fs *FS) newInode(mode Mode, uid, gid int) *Inode {
 // resolve walks path (already cleaned and absolute) checking MayExec on every
 // traversed directory. If followLast is true, a trailing symlink is followed.
 func (fs *FS) resolve(c Cred, path string, followLast bool, depth int) (*Inode, error) {
+	return fs.resolveTrack(c, path, followLast, depth, nil)
+}
+
+// resolveTrack is resolve with an optional walk tracker: when tk is
+// non-nil it accumulates every directory the walk permission-checked
+// (across symlink recursion) so the result can be inserted into the
+// dcache with enough state to re-enforce MayExec on later hits.
+func (fs *FS) resolveTrack(c Cred, path string, followLast bool, depth int, tk *walkTrack) (*Inode, error) {
 	if depth > 16 {
 		return nil, errno.ELOOP
 	}
@@ -82,18 +95,29 @@ func (fs *FS) resolve(c Cred, path string, followLast bool, depth int) (*Inode, 
 		if err := checkPerm(c, cur, MayExec); err != nil {
 			return nil, err
 		}
+		if tk != nil {
+			tk.chain = append(tk.chain, cur)
+		}
 		next, ok := cur.children[name]
 		if !ok {
 			return nil, errno.ENOENT
 		}
 		last := i == len(comps)-1
 		if next.Mode.IsSymlink() && (!last || followLast) {
-			target := CleanPath(string(next.Data), "/"+joinComps(comps[:i]))
-			rest := joinComps(comps[i+1:])
-			if rest != "" {
-				target = target + "/" + rest
+			if tk != nil {
+				tk.viaSymlink = true
 			}
-			return fs.resolve(c, CleanPath(target, "/"), followLast, depth+1)
+			target := CleanPath(string(next.Data), "/"+joinComps(comps[:i]))
+			// target is clean and the remaining components come from an
+			// already-cleaned path, so the concatenation needs no re-clean.
+			if rest := joinComps(comps[i+1:]); rest != "" {
+				if target == "/" {
+					target = "/" + rest
+				} else {
+					target = target + "/" + rest
+				}
+			}
+			return fs.resolveTrack(c, target, followLast, depth+1, tk)
 		}
 		cur = next
 	}
@@ -101,28 +125,36 @@ func (fs *FS) resolve(c Cred, path string, followLast bool, depth int) (*Inode, 
 }
 
 func joinComps(comps []string) string {
-	out := ""
+	if len(comps) == 0 {
+		return ""
+	}
+	n := len(comps) - 1
+	for _, c := range comps {
+		n += len(c)
+	}
+	var b strings.Builder
+	b.Grow(n)
 	for i, c := range comps {
 		if i > 0 {
-			out += "/"
+			b.WriteByte('/')
 		}
-		out += c
+		b.WriteString(c)
 	}
-	return out
+	return b.String()
 }
 
 // Lookup resolves path to an inode, following symlinks.
 func (fs *FS) Lookup(c Cred, path string) (*Inode, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return fs.resolve(c, CleanPath(path, "/"), true, 0)
+	return fs.lookupLocked(c, cleanedPath(path, "/"), true)
 }
 
 // LookupNoFollow resolves path without following a final symlink.
 func (fs *FS) LookupNoFollow(c Cred, path string) (*Inode, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	return fs.resolve(c, CleanPath(path, "/"), false, 0)
+	return fs.lookupLocked(c, cleanedPath(path, "/"), false)
 }
 
 // Exists reports whether path resolves for credential c.
@@ -134,12 +166,12 @@ func (fs *FS) Exists(c Cred, path string) bool {
 // lookupParent resolves the parent directory of path and returns it together
 // with the base name.
 func (fs *FS) lookupParent(c Cred, path string) (*Inode, string, error) {
-	clean := CleanPath(path, "/")
+	clean := cleanedPath(path, "/")
 	dir, base := SplitPath(clean)
 	if base == "." {
 		return nil, "", errno.EINVAL
 	}
-	parent, err := fs.resolve(c, dir, true, 0)
+	parent, err := fs.lookupLocked(c, dir, true)
 	if err != nil {
 		return nil, "", err
 	}
@@ -168,6 +200,7 @@ func (fs *FS) Mkdir(c Cred, path string, mode Mode, uid, gid int) (*Inode, error
 	ino := fs.newInode(TypeDir|mode.Perm(), uid, gid)
 	parent.children[base] = ino
 	parent.Mtime = time.Now()
+	fs.dcache.noteCreate()
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpCreate, Path: CleanPath(path, "/")})
 	return ino, nil
@@ -217,6 +250,7 @@ func (fs *FS) Create(c Cred, path string, mode Mode, uid, gid int) (*Inode, erro
 	ino := fs.newInode(TypeRegular|mode.Perm(), uid, gid)
 	parent.children[base] = ino
 	parent.Mtime = time.Now()
+	fs.dcache.noteCreate()
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpCreate, Path: CleanPath(path, "/")})
 	return ino, nil
@@ -241,6 +275,7 @@ func (fs *FS) Symlink(c Cred, target, path string, uid, gid int) error {
 	ino := fs.newInode(TypeSymlink|0o777, uid, gid)
 	ino.Data = []byte(target)
 	parent.children[base] = ino
+	fs.dcache.noteCreate()
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpCreate, Path: CleanPath(path, "/")})
 	return nil
@@ -268,6 +303,7 @@ func (fs *FS) Mknod(c Cred, path string, devType DeviceType, major, minor int, m
 	ino := fs.newInode(t|mode.Perm(), uid, gid)
 	ino.Major, ino.Minor, ino.DevType = major, minor, devType
 	parent.children[base] = ino
+	fs.dcache.noteCreate()
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpCreate, Path: CleanPath(path, "/")})
 	return ino, nil
@@ -290,6 +326,7 @@ func (fs *FS) CreateProc(path string, mode Mode, read ProcReadFunc, write ProcWr
 	ino.ReadFn = read
 	ino.WriteFn = write
 	parent.children[base] = ino
+	fs.dcache.noteCreate()
 	fs.mu.Unlock()
 	return ino, nil
 }
@@ -298,7 +335,7 @@ func (fs *FS) CreateProc(path string, mode Mode, read ProcReadFunc, write ProcWr
 // permission along the way. Proc files call their read handler.
 func (fs *FS) ReadFile(c Cred, path string) ([]byte, error) {
 	fs.mu.RLock()
-	ino, err := fs.resolve(c, CleanPath(path, "/"), true, 0)
+	ino, err := fs.lookupLocked(c, cleanedPath(path, "/"), true)
 	fs.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -323,9 +360,9 @@ func (fs *FS) ReadFile(c Cred, path string) ([]byte, error) {
 // WriteFile replaces the contents of the file at path, creating it with the
 // given mode if absent. Write permission (or CAP_DAC_OVERRIDE) is required.
 func (fs *FS) WriteFile(c Cred, path string, data []byte, mode Mode, uid, gid int) error {
-	clean := CleanPath(path, "/")
+	clean := cleanedPath(path, "/")
 	fs.mu.RLock()
-	ino, err := fs.resolve(c, clean, true, 0)
+	ino, err := fs.lookupLocked(c, clean, true)
 	fs.mu.RUnlock()
 	if err == errno.ENOENT {
 		ino, err = fs.Create(c, clean, mode, uid, gid)
@@ -340,9 +377,9 @@ func (fs *FS) WriteFile(c Cred, path string, data []byte, mode Mode, uid, gid in
 
 // AppendFile appends data to the file at path, which must exist.
 func (fs *FS) AppendFile(c Cred, path string, data []byte) error {
-	clean := CleanPath(path, "/")
+	clean := cleanedPath(path, "/")
 	fs.mu.RLock()
-	ino, err := fs.resolve(c, clean, true, 0)
+	ino, err := fs.lookupLocked(c, clean, true)
 	fs.mu.RUnlock()
 	if err != nil {
 		return err
@@ -418,6 +455,7 @@ func (fs *FS) Remove(c Cred, path string) error {
 	}
 	delete(parent.children, base)
 	parent.Mtime = time.Now()
+	fs.dcache.invalidate(clean, true)
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpRemove, Path: clean})
 	return nil
@@ -459,6 +497,8 @@ func (fs *FS) Rename(c Cred, oldPath, newPath string) error {
 	newParent.children[newBase] = target
 	oldParent.Mtime = time.Now()
 	newParent.Mtime = time.Now()
+	fs.dcache.invalidate(oldClean, true)
+	fs.dcache.invalidate(newClean, true)
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpRemove, Path: oldClean})
 	fs.notify(Event{Op: OpWrite, Path: newClean})
@@ -483,6 +523,10 @@ func (fs *FS) Chmod(c Cred, path string, mode Mode) error {
 	fs.mu.Lock()
 	ino.Mode = ino.Mode.Type() | mode.Perm()
 	ino.Ctime = time.Now()
+	// Cached chains hold this inode by pointer and re-check MayExec on
+	// every hit, so correctness does not depend on this invalidation; it
+	// keeps the mutation rule uniform (and the generation honest).
+	fs.dcache.invalidate(clean, true)
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpChmod, Path: clean})
 	return nil
@@ -508,6 +552,7 @@ func (fs *FS) Chown(c Cred, path string, uid, gid int) error {
 		ino.Mode &^= ModeSetuid | ModeSetgid
 	}
 	ino.Ctime = time.Now()
+	fs.dcache.invalidate(clean, true)
 	fs.mu.Unlock()
 	fs.notify(Event{Op: OpChmod, Path: clean})
 	return nil
@@ -517,7 +562,7 @@ func (fs *FS) Chown(c Cred, path string, uid, gid int) error {
 func (fs *FS) ReadDir(c Cred, path string) ([]string, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	ino, err := fs.resolve(c, CleanPath(path, "/"), true, 0)
+	ino, err := fs.lookupLocked(c, cleanedPath(path, "/"), true)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,43 @@ func CleanPath(path, cwd string) string {
 	return "/" + strings.Join(stack, "/")
 }
 
+// cleanedPath returns path unchanged when it is already a cleaned absolute
+// path, falling back to CleanPath otherwise. The already-clean check is a
+// single allocation-free scan, which keeps repeat lookups of clean paths
+// (the overwhelmingly common case on the hot resolution path) from paying
+// CleanPath's split/join allocations on every call.
+func cleanedPath(path, cwd string) string {
+	if isCleanPath(path) {
+		return path
+	}
+	return CleanPath(path, cwd)
+}
+
+// isCleanPath reports whether path is absolute with no empty, "." or ".."
+// components and no trailing slash (except the root itself).
+func isCleanPath(path string) bool {
+	if path == "" || path[0] != '/' {
+		return false
+	}
+	if path == "/" {
+		return true
+	}
+	if path[len(path)-1] == '/' {
+		return false
+	}
+	start := 1 // first byte of the current component
+	for i := 1; i <= len(path); i++ {
+		if i == len(path) || path[i] == '/' {
+			seg := path[start:i]
+			if seg == "" || seg == "." || seg == ".." {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
 // SplitPath returns the parent directory and base name of an absolute,
 // cleaned path. SplitPath("/") returns ("/", ".").
 func SplitPath(path string) (dir, base string) {
