@@ -35,7 +35,49 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sizes")
 	repo := flag.String("repo", ".", "repository root for line counting (table 2)")
 	jsonPath := flag.String("json", "", "also write the table-5 run as a JSON report (e.g. BENCH_protego.json)")
+	scaling := flag.Bool("scaling", false, "run only the parallel scaling sweep (GOMAXPROCS 1/2/4/8) and print it")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this path at exit")
+	blockProfile := flag.String("blockprofile", "", "write a blocking pprof profile to this path at exit")
+	mutexFrac := flag.Int("mutexfrac", 1, "mutex profile sampling fraction (SetMutexProfileFraction)")
+	blockRate := flag.Int("blockrate", 1, "block profile rate in ns (SetBlockProfileRate)")
 	flag.Parse()
+
+	if *mutexProfile != "" || *blockProfile != "" {
+		mf, br := 0, 0
+		if *mutexProfile != "" {
+			mf = *mutexFrac
+		}
+		if *blockProfile != "" {
+			br = *blockRate
+		}
+		bench.EnableContentionProfiling(mf, br)
+		defer func() {
+			if *mutexProfile != "" {
+				if err := bench.DumpProfile("mutex", *mutexProfile); err != nil {
+					fmt.Fprintf(os.Stderr, "protego-bench: %v\n", err)
+				}
+			}
+			if *blockProfile != "" {
+				if err := bench.DumpProfile("block", *blockProfile); err != nil {
+					fmt.Fprintf(os.Stderr, "protego-bench: %v\n", err)
+				}
+			}
+		}()
+	}
+
+	if *scaling {
+		iterScale := 1.0
+		if *quick {
+			iterScale = 0.05
+		}
+		rep, err := bench.MeasureScaling(bench.DefaultScalingSweep(), iterScale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: scaling: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatScaling(rep))
+		return
+	}
 
 	run := func(n int, fn func() error) {
 		if *all || *table == n {
@@ -99,6 +141,10 @@ func printTable5(quick bool, jsonPath string) error {
 			fmt.Printf("fastpath counters: dcache.hit=%d dcache.miss=%d mountidx.hit=%d nfidx.fastpath=%d\n",
 				fp.Counters["dcache.hit"], fp.Counters["dcache.miss"],
 				fp.Counters["mountidx.hit"], fp.Counters["nfidx.fastpath"])
+		}
+		if rep.Scaling != nil {
+			fmt.Println()
+			fmt.Print(bench.FormatScaling(rep.Scaling))
 		}
 	}
 	return nil

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"protego/internal/bench"
 	"protego/internal/kernel"
 	"protego/internal/userspace"
 	"protego/internal/world"
@@ -28,7 +29,32 @@ func main() {
 	modeName := flag.String("mode", "protego", "machine mode: linux or protego")
 	events := flag.Int("events", 25, "number of trailing trace events to print")
 	noWorkload := flag.Bool("no-workload", false, "skip the demo workload, trace only the boot")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this path at exit")
+	blockProfile := flag.String("blockprofile", "", "write a blocking pprof profile to this path at exit")
 	flag.Parse()
+
+	if *mutexProfile != "" || *blockProfile != "" {
+		mf, br := 0, 0
+		if *mutexProfile != "" {
+			mf = 1
+		}
+		if *blockProfile != "" {
+			br = 1
+		}
+		bench.EnableContentionProfiling(mf, br)
+		defer func() {
+			if *mutexProfile != "" {
+				if err := bench.DumpProfile("mutex", *mutexProfile); err != nil {
+					fmt.Fprintf(os.Stderr, "protego-trace: %v\n", err)
+				}
+			}
+			if *blockProfile != "" {
+				if err := bench.DumpProfile("block", *blockProfile); err != nil {
+					fmt.Fprintf(os.Stderr, "protego-trace: %v\n", err)
+				}
+			}
+		}()
+	}
 
 	mode := kernel.ModeProtego
 	if *modeName == "linux" {

@@ -63,5 +63,5 @@ func main() {
 		fmt.Println("audit:", line)
 	}
 	fmt.Printf("LSM stats: grants=%d defers=%d denials=%d\n",
-		m.Protego.Stats.SetuidGrants, m.Protego.Stats.SetuidDefers, m.Protego.Stats.SetuidDenials)
+		m.Protego.Stats.SetuidGrants.Load(), m.Protego.Stats.SetuidDefers.Load(), m.Protego.Stats.SetuidDenials.Load())
 }

@@ -59,5 +59,5 @@ func main() {
 	_, out, _, _ = m.Run(root, []string{userspace.BinIptables, "-S"}, nil)
 	fmt.Print(out)
 
-	fmt.Printf("\npackets sent: %d, dropped by policy: %d\n", m.K.Net.SentPackets, m.K.Net.DroppedPackets)
+	fmt.Printf("\npackets sent: %d, dropped by policy: %d\n", m.K.Net.SentPackets(), m.K.Net.DroppedPackets())
 }

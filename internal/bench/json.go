@@ -28,6 +28,9 @@ type Report struct {
 	Syscalls   []HistRow       `json:"syscall_histograms"`
 	LSMHooks   []HistRow       `json:"lsm_hook_histograms"`
 	Decisions  []DecisionRow   `json:"lsm_decisions"`
+	// Scaling holds the parallel throughput sweep (GOMAXPROCS 1/2/4/8
+	// over the hot paths); interpret the curves against its HostCPUs.
+	Scaling *ScalingReport `json:"scaling"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit
@@ -200,6 +203,15 @@ func BuildReport(rows []Row, quick bool) (*Report, error) {
 		return nil, err
 	}
 	rep.Syscalls, rep.LSMHooks, rep.Decisions = syscalls, hooks, decisions
+	iterScale := 1.0
+	if quick {
+		iterScale = 0.05
+	}
+	scaling, err := MeasureScaling(DefaultScalingSweep(), iterScale)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scaling = scaling
 	return rep, nil
 }
 

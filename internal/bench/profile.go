@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Contention profiling for the bench CLIs: with mutex and block
+// profiling enabled, a scaling regression (a new exclusive lock on a hot
+// path) shows up as a named lock site in the dump instead of an
+// unexplained flat curve.
+
+// EnableContentionProfiling turns on mutex and block profiling at the
+// given sampling rates. mutexFrac is the fraction argument of
+// runtime.SetMutexProfileFraction (1 = every contended event; 0 leaves
+// mutex profiling off); blockRate is the ns threshold argument of
+// runtime.SetBlockProfileRate (1 = every blocking event; 0 leaves block
+// profiling off).
+func EnableContentionProfiling(mutexFrac, blockRate int) {
+	if mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+}
+
+// DumpProfile writes the named runtime profile ("mutex" or "block") to
+// path in pprof format.
+func DumpProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("bench: no %q profile", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.WriteTo(f, 0)
+}

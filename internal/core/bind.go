@@ -88,14 +88,10 @@ func (m *Module) BindCheck(t lsm.Task, req *lsm.BindRequest) (lsm.Decision, erro
 		return lsm.NoOpinion, nil
 	}
 	if target.Binary == t.BinaryPath() && target.UID == t.EUID() {
-		m.mu.Lock()
-		m.Stats.BindGrants++
-		m.mu.Unlock()
+		m.bumpStat(&m.Stats.BindGrants)
 		return lsm.Grant, nil
 	}
-	m.mu.Lock()
-	m.Stats.BindDenials++
-	m.mu.Unlock()
+	m.bumpStat(&m.Stats.BindDenials)
 	return lsm.Deny, errno.EACCES
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"protego/internal/caps"
 	"protego/internal/errno"
 	"protego/internal/lsm"
@@ -185,8 +187,9 @@ func (m *Module) ExecCheck(t lsm.Task, req *lsm.ExecRequest) (*lsm.CredUpdate, e
 	return update, nil
 }
 
-func (m *Module) bumpStat(p *int) {
-	m.mu.Lock()
-	*p++
-	m.mu.Unlock()
+// bumpStat increments a decision counter. Lock-free: the Stats fields
+// are atomics, so hook fast paths never contend on the module lock just
+// to account a grant.
+func (m *Module) bumpStat(p *atomic.Int64) {
+	p.Add(1)
 }

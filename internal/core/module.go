@@ -66,20 +66,22 @@ type Module struct {
 	Stats Stats
 }
 
-// Stats counts policy decisions.
+// Stats counts policy decisions. Each field is an atomic so the hot
+// LSM hook paths bump it without taking the module lock; read with
+// Load (the totals are monotonic, per-CPU-counter style).
 type Stats struct {
-	MountGrants   int
-	MountDenials  int
-	BindGrants    int
-	BindDenials   int
-	SetuidGrants  int
-	SetuidDefers  int
-	SetuidDenials int
-	RawSockGrants int
-	RouteGrants   int
-	RouteDenials  int
-	FileGrants    int
-	FileDenials   int
+	MountGrants   atomic.Int64
+	MountDenials  atomic.Int64
+	BindGrants    atomic.Int64
+	BindDenials   atomic.Int64
+	SetuidGrants  atomic.Int64
+	SetuidDefers  atomic.Int64
+	SetuidDenials atomic.Int64
+	RawSockGrants atomic.Int64
+	RouteGrants   atomic.Int64
+	RouteDenials  atomic.Int64
+	FileGrants    atomic.Int64
+	FileDenials   atomic.Int64
 }
 
 // New creates the Protego module over the kernel's substrates. Call

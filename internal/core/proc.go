@@ -227,8 +227,8 @@ func (m *Module) readStatus(vfs.Cred) ([]byte, error) {
 	fmt.Fprintf(&b, "delegation-rules: %d\n", rules)
 	fmt.Fprintf(&b, "allow-unpriv-raw: %v\n", m.allowUnprivRaw)
 	fmt.Fprintf(&b, "stats: mount-grants=%d mount-denials=%d bind-grants=%d bind-denials=%d setuid-grants=%d setuid-defers=%d setuid-denials=%d raw-grants=%d route-grants=%d route-denials=%d\n",
-		m.Stats.MountGrants, m.Stats.MountDenials, m.Stats.BindGrants, m.Stats.BindDenials,
-		m.Stats.SetuidGrants, m.Stats.SetuidDefers, m.Stats.SetuidDenials,
-		m.Stats.RawSockGrants, m.Stats.RouteGrants, m.Stats.RouteDenials)
+		m.Stats.MountGrants.Load(), m.Stats.MountDenials.Load(), m.Stats.BindGrants.Load(), m.Stats.BindDenials.Load(),
+		m.Stats.SetuidGrants.Load(), m.Stats.SetuidDefers.Load(), m.Stats.SetuidDenials.Load(),
+		m.Stats.RawSockGrants.Load(), m.Stats.RouteGrants.Load(), m.Stats.RouteDenials.Load())
 	return []byte(b.String()), nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"protego/internal/errno"
 	"protego/internal/lsm"
@@ -46,8 +47,31 @@ type Program func(k *Kernel, t *Task) int
 // policy is the handler's responsibility.
 type IoctlHandler func(t *Task, cmd uint32, arg any, granted bool) error
 
+// taskShards is the number of pid-hashed shards in the task table. A
+// power of two so the shard index is a mask; 16 keeps contention
+// negligible for any realistic core count while the per-shard maps stay
+// dense. PIDs are sequential, so masking the low bits round-robins
+// fork/exit traffic evenly across shards.
+const taskShards = 16
+
+// taskShard is one slice of the task table with its own lock. Fork and
+// exit write-lock only the shard owning the child's pid; Task and Tasks
+// take read locks, so pid lookups never serialize behind process churn
+// on other shards.
+type taskShard struct {
+	mu sync.RWMutex
+	m  map[int]*Task
+}
+
 // Kernel ties together the substrates: VFS, network stack, netfilter, the
 // LSM chain, the task table, and the binary registry.
+//
+// Concurrency model (see DESIGN.md): the task table is sharded by pid;
+// the binary and device registries are copy-on-write snapshots (written
+// only at boot by the world builder, read lock-free on every exec and
+// ioctl); nextPID and the namespace flag are atomics. There is no global
+// kernel lock, and no lock is ever held while calling into another
+// subsystem, so there is no kernel-level lock ordering to violate.
 type Kernel struct {
 	Mode   Mode
 	FS     *vfs.FS
@@ -58,12 +82,21 @@ type Kernel struct {
 	// decision, netfilter verdict, and audit line lands in its ring.
 	Trace *trace.Tracer
 
-	mu       sync.Mutex
-	tasks    map[int]*Task
-	nextPID  int
-	binaries map[string]Program
-	devices  map[string]IoctlHandler
-	unprivNS bool
+	shards  [taskShards]taskShard
+	nextPID atomic.Int64
+
+	// regMu serializes the (rare, boot-time) registry writers; readers
+	// load the current snapshot without any lock.
+	regMu    sync.Mutex
+	binaries atomic.Pointer[map[string]Program]
+	devices  atomic.Pointer[map[string]IoctlHandler]
+
+	unprivNS atomic.Bool
+}
+
+// shardFor returns the task-table shard owning pid.
+func (k *Kernel) shardFor(pid int) *taskShard {
+	return &k.shards[uint(pid)&(taskShards-1)]
 }
 
 // New creates a kernel in the given mode with an empty file system and a
@@ -71,16 +104,20 @@ type Kernel struct {
 // output filter.
 func New(mode Mode, hostIP netstack.IP) *Kernel {
 	k := &Kernel{
-		Mode:     mode,
-		FS:       vfs.New(),
-		Net:      netstack.NewStack(hostIP),
-		Filter:   netfilter.NewTable(),
-		LSM:      lsm.NewChain(),
-		Trace:    trace.New(trace.DefaultCapacity),
-		tasks:    make(map[int]*Task),
-		binaries: make(map[string]Program),
-		devices:  make(map[string]IoctlHandler),
+		Mode:   mode,
+		FS:     vfs.New(),
+		Net:    netstack.NewStack(hostIP),
+		Filter: netfilter.NewTable(),
+		LSM:    lsm.NewChain(),
+		Trace:  trace.New(trace.DefaultCapacity),
 	}
+	for i := range k.shards {
+		k.shards[i].m = make(map[int]*Task)
+	}
+	emptyBins := make(map[string]Program)
+	k.binaries.Store(&emptyBins)
+	emptyDevs := make(map[string]IoctlHandler)
+	k.devices.Store(&emptyDevs)
 	k.Net.SetFilter(k.Filter)
 	k.LSM.SetTracer(k.Trace)
 	k.Filter.SetTracer(k.Trace)
@@ -128,24 +165,46 @@ func (k *Kernel) AuditDropped() uint64 {
 // RegisterBinary installs a program at path in the binary registry. The
 // corresponding inode must be created separately (by the world builder) —
 // the registry is the simulation's stand-in for the executable's text.
+// Registration publishes a fresh copy-on-write snapshot: it is safe while
+// execs are in flight, and Exec's LookupBinary never takes a lock.
 func (k *Kernel) RegisterBinary(path string, prog Program) {
-	k.mu.Lock()
-	k.binaries[vfs.CleanPath(path, "/")] = prog
-	k.mu.Unlock()
+	clean := vfs.CleanPath(path, "/")
+	k.regMu.Lock()
+	old := *k.binaries.Load()
+	next := make(map[string]Program, len(old)+1)
+	for p, fn := range old {
+		next[p] = fn
+	}
+	next[clean] = prog
+	k.binaries.Store(&next)
+	k.regMu.Unlock()
 }
 
-// LookupBinary returns the program registered at path, or nil.
+// LookupBinary returns the program registered at path, or nil. Lock-free:
+// it reads the current registry snapshot.
 func (k *Kernel) LookupBinary(path string) Program {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.binaries[vfs.CleanPath(path, "/")]
+	return (*k.binaries.Load())[vfs.CleanPath(path, "/")]
 }
 
-// RegisterDevice installs an ioctl handler for the device at path.
+// RegisterDevice installs an ioctl handler for the device at path,
+// publishing a fresh copy-on-write snapshot like RegisterBinary.
 func (k *Kernel) RegisterDevice(path string, h IoctlHandler) {
-	k.mu.Lock()
-	k.devices[vfs.CleanPath(path, "/")] = h
-	k.mu.Unlock()
+	clean := vfs.CleanPath(path, "/")
+	k.regMu.Lock()
+	old := *k.devices.Load()
+	next := make(map[string]IoctlHandler, len(old)+1)
+	for p, fn := range old {
+		next[p] = fn
+	}
+	next[clean] = h
+	k.devices.Store(&next)
+	k.regMu.Unlock()
+}
+
+// lookupDevice returns the ioctl handler for the (already cleaned) device
+// path, or nil. Lock-free snapshot read, like LookupBinary.
+func (k *Kernel) lookupDevice(clean string) IoctlHandler {
+	return (*k.devices.Load())[clean]
 }
 
 // InitTask creates the first task (pid 1) running as root with the given
@@ -165,11 +224,11 @@ func (k *Kernel) InitTask() *Task {
 		Stderr:      &bytes.Buffer{},
 		Stdin:       &bytes.Buffer{},
 	}
-	k.mu.Lock()
-	k.nextPID++
-	t.pid = k.nextPID
-	k.tasks[t.pid] = t
-	k.mu.Unlock()
+	t.pid = int(k.nextPID.Add(1))
+	sh := k.shardFor(t.pid)
+	sh.mu.Lock()
+	sh.m[t.pid] = t
+	sh.mu.Unlock()
 	return t
 }
 
@@ -205,11 +264,11 @@ func (k *Kernel) Fork(parent *Task) *Task {
 	}
 	parent.mu.Unlock()
 
-	k.mu.Lock()
-	k.nextPID++
-	child.pid = k.nextPID
-	k.tasks[child.pid] = child
-	k.mu.Unlock()
+	child.pid = int(k.nextPID.Add(1))
+	sh := k.shardFor(child.pid)
+	sh.mu.Lock()
+	sh.m[child.pid] = child
+	sh.mu.Unlock()
 	return child
 }
 
@@ -240,27 +299,48 @@ func (k *Kernel) Exit(t *Task, code int) {
 	t.exitCode = code
 	t.fds = make(map[int]*FileDesc)
 	t.mu.Unlock()
-	k.mu.Lock()
-	delete(k.tasks, t.pid)
-	k.mu.Unlock()
+	sh := k.shardFor(t.pid)
+	sh.mu.Lock()
+	delete(sh.m, t.pid)
+	sh.mu.Unlock()
 }
 
-// Task returns the task with the given pid, or nil.
+// Task returns the task with the given pid, or nil. Read-locks only the
+// shard owning pid.
 func (k *Kernel) Task(pid int) *Task {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.tasks[pid]
+	sh := k.shardFor(pid)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.m[pid]
 }
 
-// Tasks returns a snapshot of all live tasks.
+// Tasks returns a snapshot of all live tasks. The snapshot is assembled
+// shard by shard: it is consistent per shard but not across shards (a
+// fork racing with the walk may or may not be included), which matches
+// what /proc readers see on a real kernel.
 func (k *Kernel) Tasks() []*Task {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	out := make([]*Task, 0, len(k.tasks))
-	for _, t := range k.tasks {
-		out = append(out, t)
+	var out []*Task
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		for _, t := range sh.m {
+			out = append(out, t)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// TaskCount returns the number of live tasks.
+func (k *Kernel) TaskCount() int {
+	n := 0
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Exec replaces the calling task's image with the program at path, applying

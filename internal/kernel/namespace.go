@@ -37,16 +37,13 @@ const blobUserNS = "kernel.userns"
 // on the same kernel but the sandbox helper is the one binary that §4.6
 // concedes may keep the setuid bit — or the administrator upgrades.
 func (k *Kernel) SetUnprivNamespaces(on bool) {
-	k.mu.Lock()
-	k.unprivNS = on
-	k.mu.Unlock()
+	k.unprivNS.Store(on)
 }
 
-// UnprivNamespaces reports the current setting.
+// UnprivNamespaces reports the current setting. The flag is an atomic:
+// unshare-heavy workloads read it on every call without touching a lock.
 func (k *Kernel) UnprivNamespaces() bool {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.unprivNS
+	return k.unprivNS.Load()
 }
 
 // Unshare implements unshare(2) for user and network namespaces.

@@ -53,9 +53,7 @@ func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) (err error)
 		k.Auditf("ioctl denied by lsm: pid=%d uid=%d dev=%s cmd=%#x", t.PID(), t.UID(), clean, cmd)
 		return denyErr(lerr, errno.EPERM)
 	}
-	k.mu.Lock()
-	handler := k.devices[clean]
-	k.mu.Unlock()
+	handler := k.lookupDevice(clean)
 	if handler == nil {
 		return errno.ENOTTY
 	}

@@ -45,6 +45,10 @@ type Rule struct {
 	SpoofedOnly   bool  // match only packets with a forged source endpoint
 
 	Verdict Verdict
+
+	// hits counts packets this rule matched. An atomic on the rule
+	// itself so the verdict fast path never write-locks the table.
+	hits atomic.Uint64
 }
 
 // matches reports whether the rule applies to the packet.
@@ -194,9 +198,6 @@ type Table struct {
 	mu     sync.RWMutex
 	chains map[string]*Chain
 
-	// Matched counts rule hits for observability.
-	Matched map[string]int
-
 	// tracer, when set, receives one verdict event per filtered packet.
 	// Installed once at kernel construction, before packet traffic starts.
 	tracer *trace.Tracer
@@ -210,8 +211,7 @@ type Table struct {
 // chain.
 func NewTable() *Table {
 	t := &Table{
-		chains:  make(map[string]*Chain),
-		Matched: make(map[string]int),
+		chains: make(map[string]*Chain),
 	}
 	out := &Chain{Name: "OUTPUT", Policy: Accept}
 	out.rebuildIndexLocked()
@@ -320,15 +320,43 @@ func (t *Table) Output(pkt *netstack.Packet) Verdict {
 		}
 		r := rules[i]
 		if r.matches(pkt) {
-			t.mu.Lock()
-			t.Matched[r.Name]++
-			t.mu.Unlock()
+			r.hits.Add(1)
 			t.tracer.NetfilterVerdict("OUTPUT", r.Name, verdictName(r.Verdict), pkt.SenderUID)
 			return r.Verdict
 		}
 	}
 	t.tracer.NetfilterVerdict("OUTPUT", "", verdictName(policy), pkt.SenderUID)
 	return policy
+}
+
+// Matched returns how many packets the named rule has matched, summed
+// across chains. Counts live on the rules themselves (per-rule atomics),
+// so they do not survive a Flush of the owning chain.
+func (t *Table) Matched(name string) uint64 {
+	var n uint64
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range t.chains {
+		for _, r := range c.rules {
+			if r.Name == name {
+				n += r.hits.Load()
+			}
+		}
+	}
+	return n
+}
+
+// MatchedCounts returns a snapshot of every rule's match count by name.
+func (t *Table) MatchedCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, c := range t.chains {
+		for _, r := range c.rules {
+			out[r.Name] += r.hits.Load()
+		}
+	}
+	return out
 }
 
 // verdictName renders a verdict in iptables target style.

@@ -8,6 +8,7 @@ package netstack
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"protego/internal/errno"
 )
@@ -192,23 +193,38 @@ type Socket struct {
 	mu        sync.Mutex
 }
 
+// filterBox wraps the installed OutputFilter so it can be published as a
+// single atomic pointer (an interface value cannot be stored atomically
+// on its own).
+type filterBox struct{ f OutputFilter }
+
 // Stack is a host network stack. Loopback delivery connects sockets on the
 // same stack; two stacks can be bridged with Link to model a two-machine
 // PPP setup.
+//
+// Concurrency: mu is a reader/writer lock — the read-mostly paths
+// (interface and route lookups, port-owner resolution, route lookup on
+// every send) take only read locks, so concurrent senders never
+// serialize against each other; mutations (bind, close, iface/route
+// changes) take the write lock. The output filter is an atomic snapshot
+// (see SetFilter) and the packet counters are atomics, so the send fast
+// path acquires mu only in read mode.
 type Stack struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	hostIP   IP
 	ifaces   map[string]*Iface
 	routes   []Route
 	ports    map[portKey]*Socket
 	sockets  map[int]*Socket
 	nextSock int
-	filter   OutputFilter
 	linked   *Stack // simple point-to-point peer (PPP tests)
 
-	// Stats observable by tests and benchmarks.
-	SentPackets    int
-	DroppedPackets int
+	filter atomic.Pointer[filterBox]
+
+	// Stats observable by tests and benchmarks via SentPackets and
+	// DroppedPackets; atomics so the send path never write-locks.
+	sentPackets    atomic.Uint64
+	droppedPackets atomic.Uint64
 }
 
 // NewStack creates a stack with a loopback interface and an eth0 interface
@@ -233,11 +249,31 @@ func NewStack(hostIP IP) *Stack {
 func (s *Stack) HostIP() IP { return s.hostIP }
 
 // SetFilter installs the output packet filter (netfilter hook).
+//
+// Installation is safe while sends are in flight: the filter is
+// published with a single atomic store, and each SendTo loads the
+// snapshot exactly once per packet. A packet that loaded the old filter
+// before the swap completes its verdict under the old filter; every
+// packet sent after SetFilter returns is guaranteed to see the new one.
+// There are no torn reads and no locks on this path, mirroring how
+// Linux swaps netfilter rulesets via RCU.
 func (s *Stack) SetFilter(f OutputFilter) {
-	s.mu.Lock()
-	s.filter = f
-	s.mu.Unlock()
+	s.filter.Store(&filterBox{f: f})
 }
+
+// currentFilter returns the installed output filter, or nil.
+func (s *Stack) currentFilter() OutputFilter {
+	if box := s.filter.Load(); box != nil {
+		return box.f
+	}
+	return nil
+}
+
+// SentPackets reports how many packets passed the output path.
+func (s *Stack) SentPackets() uint64 { return s.sentPackets.Load() }
+
+// DroppedPackets reports how many packets the output filter dropped.
+func (s *Stack) DroppedPackets() uint64 { return s.droppedPackets.Load() }
 
 // Link joins two stacks point-to-point so packets addressed to the peer's
 // host IP are delivered there (used by the PPP crossover-cable validation).
@@ -262,15 +298,15 @@ func (s *Stack) AddIface(i *Iface) {
 
 // Iface returns the named interface or nil.
 func (s *Stack) Iface(name string) *Iface {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.ifaces[name]
 }
 
 // Ifaces returns all interfaces.
 func (s *Stack) Ifaces() []*Iface {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Iface, 0, len(s.ifaces))
 	for _, i := range s.ifaces {
 		out = append(out, i)
@@ -280,8 +316,8 @@ func (s *Stack) Ifaces() []*Iface {
 
 // Routes returns a snapshot of the routing table.
 func (s *Stack) Routes() []Route {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Route, len(s.routes))
 	copy(out, s.routes)
 	return out
@@ -290,8 +326,8 @@ func (s *Stack) Routes() []Route {
 // RouteConflicts reports whether r overlaps any existing route — the
 // Protego route-integrity check.
 func (s *Stack) RouteConflicts(r Route) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, existing := range s.routes {
 		if existing.Overlaps(r) {
 			return true
@@ -322,7 +358,8 @@ func (s *Stack) DelRoute(dest IP, prefixLen int) bool {
 	return false
 }
 
-// lookupRoute finds the longest-prefix route for dst, or nil.
+// lookupRoute finds the longest-prefix route for dst, or nil. The caller
+// must hold s.mu (read or write).
 func (s *Stack) lookupRoute(dst IP) *Route {
 	var best *Route
 	for i := range s.routes {
@@ -334,11 +371,14 @@ func (s *Stack) lookupRoute(dst IP) *Route {
 	return best
 }
 
-// isLocal reports whether dst addresses this host.
+// isLocal reports whether dst addresses this host. It takes its own read
+// lock (callers must not hold s.mu).
 func (s *Stack) isLocal(dst IP) bool {
 	if dst == IPv4(127, 0, 0, 1) || dst == s.hostIP {
 		return true
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, i := range s.ifaces {
 		if i.Up && i.Addr == dst {
 			return true

@@ -1,6 +1,8 @@
 package netstack
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -311,8 +313,8 @@ func TestOutputFilterDrops(t *testing.T) {
 	if err := s.SendTo(sock, pkt); err != errno.EPERM {
 		t.Fatalf("filtered send: %v", err)
 	}
-	if s.DroppedPackets != 1 {
-		t.Fatalf("dropped = %d", s.DroppedPackets)
+	if s.DroppedPackets() != 1 {
+		t.Fatalf("dropped = %d", s.DroppedPackets())
 	}
 }
 
@@ -380,5 +382,77 @@ func TestInvalidSocketParams(t *testing.T) {
 	}
 	if err := s.Connect(dgram, s.HostIP(), 80); err != errno.EINVAL {
 		t.Fatalf("connect dgram: %v", err)
+	}
+}
+
+// fixedFilter is a test OutputFilter with a fixed verdict.
+type fixedFilter struct {
+	verdict Verdict
+}
+
+func (f *fixedFilter) Output(*Packet) Verdict { return f.verdict }
+
+// TestSetFilterDuringSends checks the documented SetFilter semantics:
+// installing a filter while sends are in flight is safe, every packet
+// sees exactly one coherent filter, and the sent/dropped counters
+// account for every send attempt.
+func TestSetFilterDuringSends(t *testing.T) {
+	s := NewStack(IPv4(10, 0, 0, 1))
+	const senders = 4
+	const perSender = 500
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		accept := &fixedFilter{verdict: Accept}
+		drop := &fixedFilter{verdict: Drop}
+		for i := 0; i < 2000; i++ {
+			if i%2 == 0 {
+				s.SetFilter(drop)
+			} else {
+				s.SetFilter(accept)
+			}
+		}
+		s.SetFilter(nil)
+	}()
+
+	var wg sync.WaitGroup
+	var denied atomic.Uint64
+	for w := 0; w < senders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sock, err := s.NewSocket(AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+			if err != nil {
+				t.Errorf("socket: %v", err)
+				return
+			}
+			defer s.Close(sock)
+			for i := 0; i < perSender; i++ {
+				pkt := &Packet{Dst: IPv4(10, 0, 0, 1), DstPort: 9}
+				switch err := s.SendTo(sock, pkt); err {
+				case nil:
+				case errno.EPERM: // dropped by the filter of the moment
+					denied.Add(1)
+				default:
+					t.Errorf("sendto: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	if t.Failed() {
+		return
+	}
+	total := s.SentPackets() + s.DroppedPackets()
+	if total != senders*perSender {
+		t.Fatalf("sent %d + dropped %d = %d, want %d",
+			s.SentPackets(), s.DroppedPackets(), total, senders*perSender)
+	}
+	if s.DroppedPackets() != denied.Load() {
+		t.Fatalf("dropped counter %d, but %d sends returned EPERM",
+			s.DroppedPackets(), denied.Load())
 	}
 }

@@ -94,8 +94,8 @@ func (s *Stack) ephemeralPortLocked(proto int) int {
 
 // PortOwner returns the socket bound to (proto, port), or nil.
 func (s *Stack) PortOwner(proto, port int) *Socket {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.ports[portKey{proto: proto, port: port}]
 }
 
@@ -188,10 +188,10 @@ func (s *Stack) resolveTarget(dst IP) (*Stack, error) {
 	if s.isLocal(dst) {
 		return s, nil
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	route := s.lookupRoute(dst)
 	linked := s.linked
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if route == nil {
 		return nil, errno.ENETUNREACH
 	}
@@ -232,9 +232,7 @@ func (s *Stack) Send(sock *Socket, data []byte) (int, error) {
 		Proto: IPPROTO_TCP, SrcPort: sock.LocalPort, DstPort: sock.RemotePort,
 		Payload: append([]byte(nil), data...),
 	}
-	s.mu.Lock()
-	s.SentPackets++
-	s.mu.Unlock()
+	s.sentPackets.Add(1)
 	select {
 	case peer.recvQ <- pkt:
 		return len(data), nil
@@ -277,18 +275,12 @@ func (s *Stack) SendTo(sock *Socket, pkt *Packet) error {
 		pkt.SrcPort = sock.LocalPort
 	}
 
-	s.mu.Lock()
-	filter := s.filter
-	s.mu.Unlock()
-	if filter != nil && filter.Output(pkt) == Drop {
-		s.mu.Lock()
-		s.DroppedPackets++
-		s.mu.Unlock()
+	// One atomic load per packet: see SetFilter for the swap semantics.
+	if filter := s.currentFilter(); filter != nil && filter.Output(pkt) == Drop {
+		s.droppedPackets.Add(1)
 		return errno.EPERM
 	}
-	s.mu.Lock()
-	s.SentPackets++
-	s.mu.Unlock()
+	s.sentPackets.Add(1)
 
 	target, err := s.resolveTarget(pkt.Dst)
 	if err != nil {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -298,5 +299,46 @@ func BenchmarkRingAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Append(ev)
+	}
+}
+
+// TestShardedCountersExact checks that the sharded decision counters
+// lose no increments under parallel writers: N goroutines bumping the
+// same key and disjoint keys must merge to exact totals, and existing
+// slots must survive the copy-on-write publication of new keys.
+func TestShardedCountersExact(t *testing.T) {
+	tr := New(64)
+	const (
+		writers = 8
+		bumps   = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := fmt.Sprintf("writer-%d", w)
+			for i := 0; i < bumps; i++ {
+				tr.CountDecision("Shared", "module", "grant")
+				tr.CountDecision("Private", own, "grant")
+				if i%100 == 0 {
+					// New keys force COW snapshot publication mid-run.
+					tr.CountDecision("Churn", own, fmt.Sprintf("d%d", i))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ctrs := tr.Counters()
+	shared := CounterKey{Hook: "Shared", Module: "module", Decision: "grant"}
+	if ctrs[shared] != writers*bumps {
+		t.Fatalf("shared counter = %d, want %d", ctrs[shared], writers*bumps)
+	}
+	for w := 0; w < writers; w++ {
+		key := CounterKey{Hook: "Private", Module: fmt.Sprintf("writer-%d", w), Decision: "grant"}
+		if ctrs[key] != bumps {
+			t.Fatalf("%v = %d, want %d", key, ctrs[key], bumps)
+		}
 	}
 }

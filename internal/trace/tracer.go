@@ -34,8 +34,11 @@ type Tracer struct {
 	histMu sync.RWMutex
 	hists  map[string]*Histogram
 
+	// counters maps CounterKey → sharded atomic slot (see counters.go).
+	// The map is a copy-on-write snapshot: ctrMu serializes only the
+	// slow path that introduces a new key.
 	ctrMu    sync.Mutex
-	counters map[CounterKey]uint64
+	counters atomic.Pointer[map[CounterKey]*ctrSlot]
 
 	// fastpath holds lazily-read monotonic counters registered by the
 	// kernel's fast-path layers (dcache, compiled policy indexes). The
@@ -51,12 +54,14 @@ func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Tracer{
+	tr := &Tracer{
 		ring:     NewRing(capacity),
 		hists:    make(map[string]*Histogram),
-		counters: make(map[CounterKey]uint64),
 		fastpath: make(map[string]func() uint64),
 	}
+	empty := make(map[CounterKey]*ctrSlot)
+	tr.counters.Store(&empty)
+	return tr
 }
 
 // RegisterCounter registers a named fast-path counter whose value is read
@@ -153,15 +158,14 @@ func (tr *Tracer) LSMDecision(hook string, pid, uid int, decision, winner string
 }
 
 // CountDecision bumps the (hook, module, decision) counter — one bump per
-// module consulted, independent of which module won the chain.
+// module consulted, independent of which module won the chain. The bump
+// is lock-free after a key's first use: a snapshot map read plus one
+// atomic add on a random stripe of the key's sharded slot.
 func (tr *Tracer) CountDecision(hook, module, decision string) {
 	if tr == nil {
 		return
 	}
-	key := CounterKey{Hook: hook, Module: module, Decision: decision}
-	tr.ctrMu.Lock()
-	tr.counters[key]++
-	tr.ctrMu.Unlock()
+	tr.slotFor(CounterKey{Hook: hook, Module: module, Decision: decision}).bump()
 }
 
 // NetfilterVerdict records an OUTPUT-chain verdict; rule is the matching
@@ -290,13 +294,13 @@ func (tr *Tracer) Histograms() map[string]HistStats {
 	return out
 }
 
-// Counters returns a copy of the decision counters.
+// Counters returns a copy of the decision counters, merging each key's
+// stripes into a single total.
 func (tr *Tracer) Counters() map[CounterKey]uint64 {
-	tr.ctrMu.Lock()
-	defer tr.ctrMu.Unlock()
-	out := make(map[CounterKey]uint64, len(tr.counters))
-	for k, v := range tr.counters {
-		out[k] = v
+	snap := *tr.counters.Load()
+	out := make(map[CounterKey]uint64, len(snap))
+	for k, slot := range snap {
+		out[k] = slot.sum()
 	}
 	return out
 }
