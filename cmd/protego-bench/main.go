@@ -12,7 +12,10 @@
 //	protego-bench -figure 1    the mount control-flow comparison
 //	protego-bench -all         everything
 //
-// -quick shrinks the macro workloads for a fast smoke run.
+// -quick shrinks the macro workloads for a fast smoke run. -faults runs the
+// deterministic fault-injection sweep (seeded by -faultseed) over both
+// configurations instead of the tables, exiting non-zero on any panic,
+// fail-open decision, or failed recovery.
 package main
 
 import (
@@ -40,6 +43,8 @@ func main() {
 	blockProfile := flag.String("blockprofile", "", "write a blocking pprof profile to this path at exit")
 	mutexFrac := flag.Int("mutexfrac", 1, "mutex profile sampling fraction (SetMutexProfileFraction)")
 	blockRate := flag.Int("blockrate", 1, "block profile rate in ns (SetBlockProfileRate)")
+	faults := flag.Bool("faults", false, "run the deterministic fault-injection sweep over both configurations")
+	faultSeed := flag.Int64("faultseed", 42, "seed for the fault-injection sweep (fixes torn-read offsets)")
 	flag.Parse()
 
 	if *mutexProfile != "" || *blockProfile != "" {
@@ -63,6 +68,27 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	if *faults {
+		linux, err := bench.RunFaultSweep(kernel.ModeLinux, *faultSeed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: faults (linux): %v\n", err)
+			os.Exit(1)
+		}
+		protego, err := bench.RunFaultSweep(kernel.ModeProtego, *faultSeed, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: faults (protego): %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatFaultSweep(linux, protego))
+		bad := len(linux.Panics()) + len(linux.FailOpens()) + len(linux.LivenessFailures()) +
+			len(protego.Panics()) + len(protego.FailOpens()) + len(protego.LivenessFailures())
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "protego-bench: faults: %d safety violations\n", bad)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *scaling {

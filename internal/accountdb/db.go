@@ -332,6 +332,12 @@ func SynthesizeLegacy(fs *vfs.FS) error {
 		}
 		groups = append(groups, gs...)
 	}
+	// An empty fragment set means the tree was never (or only partially)
+	// populated; rebuilding from it would wipe every account. Fail instead
+	// and leave the legacy files as they are.
+	if len(users) == 0 {
+		return fmt.Errorf("synthesize: no passwd fragments, refusing to empty %s", PasswdFile)
+	}
 	if err := writeIfChanged(fs, PasswdFile, FormatPasswd(users), 0o644, 0, 0); err != nil {
 		return err
 	}

@@ -11,10 +11,12 @@ package authsvc
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protego/internal/accountdb"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/policy"
 	"protego/internal/trace"
@@ -47,6 +49,10 @@ type Service struct {
 	// tracer, when set, receives one auth event per check. Installed at
 	// world build, before the service handles requests.
 	tracer *trace.Tracer
+
+	// faults, when armed, perturbs shadow-database lookups (verification
+	// timeouts, database I/O errors). Nil means no injection.
+	faults atomic.Pointer[faultinject.Injector]
 }
 
 // New creates a service over the account database with the default
@@ -61,6 +67,35 @@ func New(db *accountdb.DB) *Service {
 
 // SetTracer installs the trace sink for authentication checks.
 func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// SetFaultInjector arms fault injection on the shadow-database path.
+func (s *Service) SetFaultInjector(in *faultinject.Injector) { s.faults.Store(in) }
+
+// maxVerifyRetries bounds how many consecutive verification timeouts the
+// service absorbs before failing closed.
+const maxVerifyRetries = 2
+
+// shadowHash resolves the user's shadow hash through the fault injector:
+// a verification timeout (authsvc.verify, ETIMEDOUT) is retried up to
+// maxVerifyRetries times; any other verify error, and any database error
+// (authsvc.db), fails closed immediately. Either way an error here can
+// only ever deny — never grant — authentication.
+func (s *Service) shadowHash(user string) (string, error) {
+	in := s.faults.Load()
+	for attempt := 0; ; attempt++ {
+		err := in.Check(faultinject.SiteAuthVerify)
+		if err == nil {
+			break
+		}
+		if !errno.Is(err, errno.ETIMEDOUT) || attempt >= maxVerifyRetries {
+			return "", err
+		}
+	}
+	if err := in.Check(faultinject.SiteAuthDB); err != nil {
+		return "", err
+	}
+	return s.db.ShadowHash(user)
+}
 
 // observe emits one auth event; t may be nil for non-task checks.
 func (s *Service) observe(mechanism, subject string, t lsm.Task, ok bool) {
@@ -124,7 +159,7 @@ func (s *Service) VerifyPassword(user, password string) bool {
 	s.mu.Lock()
 	s.Attempts++
 	s.mu.Unlock()
-	hash, err := s.db.ShadowHash(user)
+	hash, err := s.shadowHash(user)
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"protego/internal/errno"
+	"protego/internal/faultinject"
+	"protego/internal/kernel"
+)
+
+// faultSweepSeed is the fixed seed CI runs the sweep under; changing it
+// changes torn-read offsets but must never change the safety outcome.
+const faultSweepSeed = 42
+
+func TestFaultSweep(t *testing.T) {
+	for _, mode := range []kernel.Mode{kernel.ModeLinux, kernel.ModeProtego} {
+		res, err := RunFaultSweep(mode, faultSweepSeed, false)
+		if err != nil {
+			t.Fatalf("%v sweep: %v", mode, err)
+		}
+		sites := res.InjectedSites()
+		if len(sites) < 25 {
+			t.Errorf("%v: injected at %d distinct sites, want >= 25: %v", mode, len(sites), sites)
+		}
+		for _, prefix := range []string{"vfs.", "syscall.", "netstack.", "monitord.", "authsvc."} {
+			found := false
+			for _, s := range sites {
+				if strings.HasPrefix(s, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%v: no injection fired in subsystem %q", mode, prefix)
+			}
+		}
+		for _, p := range res.Panics() {
+			t.Errorf("%v: %s panicked: %s", mode, p.String(), p.Panic)
+		}
+		for _, v := range res.FailOpens() {
+			t.Errorf("%v: fail-open: %s", mode, v)
+		}
+		for _, v := range res.LivenessFailures() {
+			t.Errorf("%v: no recovery after faults cleared: %s", mode, v)
+		}
+		for i := range res.Cases {
+			if res.Cases[i].Injected == 0 {
+				t.Errorf("%v: case %s never fired (workload misses the site?)", mode, res.Cases[i].String())
+			}
+		}
+	}
+}
+
+// The same (mode, seed, case) must replay the identical injection
+// sequence — site, action, hit number, and firing order all equal.
+func TestFaultSweepReplayDeterminism(t *testing.T) {
+	cases := []FaultCase{
+		{Site: faultinject.SiteMonFstab, Action: faultinject.ActTorn},
+		{Site: faultinject.SiteVFSLookup, Action: faultinject.ActErr, Err: errno.ENOMEM},
+		{Site: faultinject.SiteNetSendTo, Action: faultinject.ActDrop},
+		{Site: faultinject.SiteAuthVerify, Action: faultinject.ActErr, Err: errno.ETIMEDOUT},
+	}
+	for _, c := range cases {
+		first, err := runFaultCase(kernel.ModeProtego, faultSweepSeed, c)
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		second, err := runFaultCase(kernel.ModeProtego, faultSweepSeed, c)
+		if err != nil {
+			t.Fatalf("%s replay: %v", c, err)
+		}
+		if len(first.Records) == 0 {
+			t.Errorf("%s: no injections recorded", c)
+		}
+		if !reflect.DeepEqual(first.Records, second.Records) {
+			t.Errorf("%s: replay diverged:\n run1: %v\n run2: %v", c, first.Records, second.Records)
+		}
+	}
+}

@@ -232,9 +232,9 @@ func microForkExit(m *world.Machine, t *kernel.Task, iters int) error {
 
 func microForkExec(m *world.Machine, t *kernel.Task, iters int) error {
 	for i := 0; i < iters; i++ {
-		code, err := m.K.Spawn(t, userspace.BinSh, []string{userspace.BinSh}, nil)
-		if err != nil || code != 0 {
-			return fmt.Errorf("spawn: code=%d err=%v", code, err)
+		res, err := m.K.Spawn(t, userspace.BinSh, []string{userspace.BinSh}, nil, kernel.SpawnOpts{})
+		if err != nil || res.Code != 0 {
+			return fmt.Errorf("spawn: code=%d err=%v", res.Code, err)
 		}
 	}
 	return nil
@@ -242,9 +242,9 @@ func microForkExec(m *world.Machine, t *kernel.Task, iters int) error {
 
 func microForkSh(m *world.Machine, t *kernel.Task, iters int) error {
 	for i := 0; i < iters; i++ {
-		code, err := m.K.Spawn(t, userspace.BinSh, []string{userspace.BinSh, "-c", userspace.BinID}, nil)
-		if err != nil || code != 0 {
-			return fmt.Errorf("spawn sh -c: code=%d err=%v", code, err)
+		res, err := m.K.Spawn(t, userspace.BinSh, []string{userspace.BinSh, "-c", userspace.BinID}, nil, kernel.SpawnOpts{})
+		if err != nil || res.Code != 0 {
+			return fmt.Errorf("spawn sh -c: code=%d err=%v", res.Code, err)
 		}
 	}
 	return nil

@@ -84,6 +84,42 @@ type Stats struct {
 	FileDenials   atomic.Int64
 }
 
+// StatsSnapshot is a point-in-time copy of Stats with plain fields — the
+// same snapshot-struct shape as netfilter.TableStats, for readers that
+// want one consistent view instead of twelve atomic loads.
+type StatsSnapshot struct {
+	MountGrants   int64
+	MountDenials  int64
+	BindGrants    int64
+	BindDenials   int64
+	SetuidGrants  int64
+	SetuidDefers  int64
+	SetuidDenials int64
+	RawSockGrants int64
+	RouteGrants   int64
+	RouteDenials  int64
+	FileGrants    int64
+	FileDenials   int64
+}
+
+// Snapshot reads every counter once and returns the plain-value copy.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MountGrants:   s.MountGrants.Load(),
+		MountDenials:  s.MountDenials.Load(),
+		BindGrants:    s.BindGrants.Load(),
+		BindDenials:   s.BindDenials.Load(),
+		SetuidGrants:  s.SetuidGrants.Load(),
+		SetuidDefers:  s.SetuidDefers.Load(),
+		SetuidDenials: s.SetuidDenials.Load(),
+		RawSockGrants: s.RawSockGrants.Load(),
+		RouteGrants:   s.RouteGrants.Load(),
+		RouteDenials:  s.RouteDenials.Load(),
+		FileGrants:    s.FileGrants.Load(),
+		FileDenials:   s.FileDenials.Load(),
+	}
+}
+
 // New creates the Protego module over the kernel's substrates. Call
 // Install to register it with the kernel, set up the /proc interface, and
 // load the default netfilter rules.

@@ -73,6 +73,11 @@ func (m *Module) readMounts(vfs.Cred) ([]byte, error) {
 //	add <device> <mountpoint> <fstype> <options|-> <user|users>
 //	del <device> <mountpoint>
 //	clear
+//
+// The batch is staged against a copy of the whitelist and swapped in only
+// if every command parses: a failure halfway through the usual
+// "clear\nadd…" reload must never leave the kernel with a
+// partially-applied (possibly empty) whitelist.
 func (m *Module) writeMounts(c vfs.Cred, data []byte) error {
 	if err := requireRoot(c); err != nil {
 		return err
@@ -81,6 +86,7 @@ func (m *Module) writeMounts(c vfs.Cred, data []byte) error {
 	if err != nil {
 		return errno.EINVAL
 	}
+	staged := m.MountRules()
 	for _, cmd := range cmds {
 		switch cmd.Verb {
 		case "add":
@@ -88,16 +94,24 @@ func (m *Module) writeMounts(c vfs.Cred, data []byte) error {
 			if err != nil {
 				return err
 			}
-			m.AddMountRule(rule)
+			staged = append(staged, rule)
 		case "del":
 			if len(cmd.Args) != 2 {
 				return errno.EINVAL
 			}
-			m.RemoveMountRules(cmd.Args[0], vfs.CleanPath(cmd.Args[1], "/"))
+			dev, point := cmd.Args[0], vfs.CleanPath(cmd.Args[1], "/")
+			kept := staged[:0]
+			for _, r := range staged {
+				if !(r.Device == dev && r.MountPoint == point) {
+					kept = append(kept, r)
+				}
+			}
+			staged = kept
 		case "clear":
-			m.SetMountRules(nil)
+			staged = staged[:0]
 		}
 	}
+	m.SetMountRules(staged)
 	return nil
 }
 
@@ -110,6 +124,9 @@ func (m *Module) readBind(vfs.Cred) ([]byte, error) {
 //	add <port> <tcp|udp> <binary> <uid>
 //	del <port> <tcp|udp>
 //	clear
+//
+// Like writeMounts, the batch is staged against a copy of the allocation
+// table and swapped in only when every command parses.
 func (m *Module) writeBind(c vfs.Cred, data []byte) error {
 	if err := requireRoot(c); err != nil {
 		return err
@@ -118,6 +135,12 @@ func (m *Module) writeBind(c vfs.Cred, data []byte) error {
 	if err != nil {
 		return errno.EINVAL
 	}
+	m.mu.RLock()
+	staged := make(map[bindKey]BindTarget, len(m.bindTable))
+	for k, v := range m.bindTable {
+		staged[k] = v
+	}
+	m.mu.RUnlock()
 	for _, cmd := range cmds {
 		switch cmd.Verb {
 		case "add":
@@ -125,9 +148,7 @@ func (m *Module) writeBind(c vfs.Cred, data []byte) error {
 			if err != nil {
 				return err
 			}
-			m.mu.Lock()
-			m.bindTable[key] = target
-			m.mu.Unlock()
+			staged[key] = target
 		case "del":
 			if len(cmd.Args) != 2 {
 				return errno.EINVAL
@@ -136,15 +157,14 @@ func (m *Module) writeBind(c vfs.Cred, data []byte) error {
 			if err != nil {
 				return err
 			}
-			m.mu.Lock()
-			delete(m.bindTable, key)
-			m.mu.Unlock()
+			delete(staged, key)
 		case "clear":
-			m.mu.Lock()
-			m.bindTable = make(map[bindKey]BindTarget)
-			m.mu.Unlock()
+			staged = make(map[bindKey]BindTarget)
 		}
 	}
+	m.mu.Lock()
+	m.bindTable = staged
+	m.mu.Unlock()
 	return nil
 }
 
@@ -226,9 +246,10 @@ func (m *Module) readStatus(vfs.Cred) ([]byte, error) {
 	}
 	fmt.Fprintf(&b, "delegation-rules: %d\n", rules)
 	fmt.Fprintf(&b, "allow-unpriv-raw: %v\n", m.allowUnprivRaw)
+	st := m.Stats.Snapshot()
 	fmt.Fprintf(&b, "stats: mount-grants=%d mount-denials=%d bind-grants=%d bind-denials=%d setuid-grants=%d setuid-defers=%d setuid-denials=%d raw-grants=%d route-grants=%d route-denials=%d\n",
-		m.Stats.MountGrants.Load(), m.Stats.MountDenials.Load(), m.Stats.BindGrants.Load(), m.Stats.BindDenials.Load(),
-		m.Stats.SetuidGrants.Load(), m.Stats.SetuidDefers.Load(), m.Stats.SetuidDenials.Load(),
-		m.Stats.RawSockGrants.Load(), m.Stats.RouteGrants.Load(), m.Stats.RouteDenials.Load())
+		st.MountGrants, st.MountDenials, st.BindGrants, st.BindDenials,
+		st.SetuidGrants, st.SetuidDefers, st.SetuidDenials,
+		st.RawSockGrants, st.RouteGrants, st.RouteDenials)
 	return []byte(b.String()), nil
 }

@@ -6,7 +6,10 @@
 // setuid time).
 package errno
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Errno is a Unix error number. The zero value means "no error" and must
 // never be returned as an error.
@@ -164,13 +167,37 @@ func (e Errno) Is(err error) bool {
 	return ok && other == e
 }
 
-// Of extracts the Errno from err, returning 0 if err is nil or not an Errno.
+// Is reports whether err is, or wraps, the error number e. It is the
+// package-level spelling of errors.Is(err, e) used by tests and the fault
+// sweep: errno.Is(err, errno.EACCES).
+func Is(err error, e Errno) bool {
+	return errors.Is(err, e)
+}
+
+// Of extracts the Errno from err (unwrapping as needed), returning 0 if
+// err is nil or carries no Errno.
 func Of(err error) Errno {
 	if err == nil {
 		return 0
 	}
-	if e, ok := err.(Errno); ok {
+	var e Errno
+	if errors.As(err, &e) {
 		return e
 	}
 	return 0
+}
+
+var byName = func() map[string]Errno {
+	m := make(map[string]Errno, len(names))
+	for e, n := range names {
+		m[n] = e
+	}
+	return m
+}()
+
+// FromName resolves a symbolic constant name such as "EPERM" to its Errno.
+// It is used by the fault-injection plan parser.
+func FromName(name string) (Errno, bool) {
+	e, ok := byName[name]
+	return e, ok
 }

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"protego/internal/errno"
+)
+
+// Plan is a seed plus an ordered rule list. Its text form is:
+//
+//	# comment
+//	seed 42
+//	inject <site> <ERRNO|DROP|DUP|TORN> [nth=N] [every=K] [prob=P] [limit=N]
+//
+// where <site> is a name from the catalog (or a prefix ending in '*') and
+// <ERRNO> is a symbolic errno name such as EIO. The same plan text with
+// the same workload reproduces the same injections, record for record.
+type Plan struct {
+	Seed  int64
+	Rules []Rule
+}
+
+// String renders the plan in its parseable text form.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", p.Seed)
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParsePlan parses the plan text format. Unknown directives, malformed
+// schedule options, and unknown errno names are errors.
+func ParsePlan(text string) (Plan, error) {
+	var p Plan
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "seed":
+			if len(fields) != 2 {
+				return Plan{}, fmt.Errorf("plan line %d: seed wants one value", i+1)
+			}
+			n, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("plan line %d: bad seed %q", i+1, fields[1])
+			}
+			p.Seed = n
+		case "inject":
+			if len(fields) < 3 {
+				return Plan{}, fmt.Errorf("plan line %d: inject wants <site> <fault>", i+1)
+			}
+			r := Rule{Site: fields[1]}
+			switch what := fields[2]; what {
+			case "DROP":
+				r.Action = ActDrop
+			case "DUP":
+				r.Action = ActDup
+			case "TORN":
+				r.Action = ActTorn
+			default:
+				e, ok := errno.FromName(what)
+				if !ok {
+					return Plan{}, fmt.Errorf("plan line %d: unknown fault %q", i+1, what)
+				}
+				r.Action, r.Err = ActErr, e
+			}
+			for _, opt := range fields[3:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return Plan{}, fmt.Errorf("plan line %d: bad option %q", i+1, opt)
+				}
+				switch k {
+				case "prob":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1 {
+						return Plan{}, fmt.Errorf("plan line %d: bad prob %q", i+1, v)
+					}
+					r.Prob = f
+				case "nth", "every", "limit":
+					n, err := strconv.ParseUint(v, 10, 64)
+					if err != nil {
+						return Plan{}, fmt.Errorf("plan line %d: bad %s %q", i+1, k, v)
+					}
+					switch k {
+					case "nth":
+						r.Nth = n
+					case "every":
+						r.Every = n
+					case "limit":
+						r.Limit = n
+					}
+				default:
+					return Plan{}, fmt.Errorf("plan line %d: unknown option %q", i+1, k)
+				}
+			}
+			p.Rules = append(p.Rules, r)
+		default:
+			return Plan{}, fmt.Errorf("plan line %d: unknown directive %q", i+1, fields[0])
+		}
+	}
+	return p, nil
+}

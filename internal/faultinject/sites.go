@@ -1,0 +1,99 @@
+package faultinject
+
+import "protego/internal/errno"
+
+// Registered injection sites. Site names are dotted paths grouped by the
+// subsystem that checks them; a rule with Site "vfs.*" matches the whole
+// group. The sweep harness (internal/bench.RunFaultSweep) iterates
+// Catalog() so a site added here is automatically swept.
+const (
+	// VFS operations (checked before the fs lock is taken).
+	SiteVFSLookup    = "vfs.lookup"
+	SiteVFSReadFile  = "vfs.readfile"
+	SiteVFSWriteFile = "vfs.writefile"
+	SiteVFSCreate    = "vfs.create"
+	SiteVFSMkdir     = "vfs.mkdir"
+	SiteVFSRemove    = "vfs.remove"
+	SiteVFSRename    = "vfs.rename"
+
+	// Kernel syscall entry points (checked right after the trace enter
+	// event, before any locks or LSM hooks).
+	SiteSysOpen      = "syscall.open"
+	SiteSysRead      = "syscall.read"
+	SiteSysWrite     = "syscall.write"
+	SiteSysReadFile  = "syscall.readfile"
+	SiteSysWriteFile = "syscall.writefile"
+	SiteSysMount     = "syscall.mount"
+	SiteSysUmount    = "syscall.umount"
+	SiteSysExec      = "syscall.exec"
+	SiteSysSocket    = "syscall.socket"
+	SiteSysBind      = "syscall.bind"
+	SiteSysSetuid    = "syscall.setuid"
+
+	// Netstack send paths (after the netfilter verdict, modeling loss on
+	// the wire rather than policy drops).
+	SiteNetSend    = "netstack.send"
+	SiteNetSendTo  = "netstack.sendto"
+	SiteNetConnect = "netstack.connect"
+
+	// Monitord config reads (torn-read injection point).
+	SiteMonFstab    = "monitord.read.fstab"
+	SiteMonSudoers  = "monitord.read.sudoers"
+	SiteMonBind     = "monitord.read.bind"
+	SiteMonPPP      = "monitord.read.ppp"
+	SiteMonAccounts = "monitord.read.accounts"
+
+	// Auth service: credential verification (timeout-retriable) and the
+	// account database lookup behind it (fail-closed).
+	SiteAuthVerify = "authsvc.verify"
+	SiteAuthDB     = "authsvc.db"
+)
+
+// SiteSpec describes one registered site for sweep enumeration: which
+// actions make sense there and which errnos are worth injecting.
+type SiteSpec struct {
+	Name    string
+	Actions []Action
+	Errnos  []errno.Errno
+}
+
+// Catalog enumerates every registered site. The fault sweep derives its
+// plan matrix from this list.
+func Catalog() []SiteSpec {
+	fsErr := []errno.Errno{errno.ENOMEM, errno.EIO}
+	errOnly := []Action{ActErr}
+	return []SiteSpec{
+		{SiteVFSLookup, errOnly, fsErr},
+		{SiteVFSReadFile, errOnly, fsErr},
+		{SiteVFSWriteFile, errOnly, fsErr},
+		{SiteVFSCreate, errOnly, fsErr},
+		{SiteVFSMkdir, errOnly, fsErr},
+		{SiteVFSRemove, errOnly, fsErr},
+		{SiteVFSRename, errOnly, fsErr},
+
+		{SiteSysOpen, errOnly, fsErr},
+		{SiteSysRead, errOnly, fsErr},
+		{SiteSysWrite, errOnly, fsErr},
+		{SiteSysReadFile, errOnly, fsErr},
+		{SiteSysWriteFile, errOnly, fsErr},
+		{SiteSysMount, errOnly, []errno.Errno{errno.ENOMEM, errno.EIO, errno.EBUSY}},
+		{SiteSysUmount, errOnly, []errno.Errno{errno.ENOMEM, errno.EBUSY}},
+		{SiteSysExec, errOnly, []errno.Errno{errno.ENOMEM, errno.EIO}},
+		{SiteSysSocket, errOnly, []errno.Errno{errno.ENOMEM, errno.ENOBUFS}},
+		{SiteSysBind, errOnly, []errno.Errno{errno.ENOMEM}},
+		{SiteSysSetuid, errOnly, []errno.Errno{errno.EAGAIN}},
+
+		{SiteNetSend, []Action{ActErr, ActDrop, ActDup}, []errno.Errno{errno.ENOBUFS}},
+		{SiteNetSendTo, []Action{ActErr, ActDrop, ActDup}, []errno.Errno{errno.ENOBUFS, errno.ENETUNREACH}},
+		{SiteNetConnect, errOnly, []errno.Errno{errno.ETIMEDOUT, errno.ENOBUFS}},
+
+		{SiteMonFstab, []Action{ActTorn, ActErr}, []errno.Errno{errno.EIO}},
+		{SiteMonSudoers, []Action{ActTorn, ActErr}, []errno.Errno{errno.EIO}},
+		{SiteMonBind, []Action{ActTorn, ActErr}, []errno.Errno{errno.EIO}},
+		{SiteMonPPP, []Action{ActTorn, ActErr}, []errno.Errno{errno.EIO}},
+		{SiteMonAccounts, []Action{ActTorn, ActErr}, []errno.Errno{errno.EIO}},
+
+		{SiteAuthVerify, errOnly, []errno.Errno{errno.ETIMEDOUT}},
+		{SiteAuthDB, errOnly, []errno.Errno{errno.EIO}},
+	}
+}

@@ -1,0 +1,97 @@
+package kernel
+
+import (
+	"testing"
+
+	"protego/internal/errno"
+	"protego/internal/faultinject"
+	"protego/internal/vfs"
+)
+
+// mountableKernel extends the test kernel with a block device and a mount
+// point so Mount can succeed once the injected fault clears.
+func mountableKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k := testKernel(t)
+	if _, err := k.FS.Mkdir(vfs.RootCred, "/mnt", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.Mknod(vfs.RootCred, "/dev/cdrom", vfs.BlockDevice, 11, 0, 0o660, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// Every injectable errno on the hot file and mount paths must surface
+// unchanged through the unified errno helpers, and the operation must
+// succeed once the fault clears — the failure may not corrupt state.
+func TestSyscallFaultErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		site string
+		errs []errno.Errno
+		op   func(k *Kernel, tk *Task) error
+	}{
+		{"open", faultinject.SiteSysOpen, []errno.Errno{errno.ENOMEM, errno.EIO},
+			func(k *Kernel, tk *Task) error {
+				fd, err := k.Open(tk, "/etc/motd", O_RDONLY)
+				if err == nil {
+					_ = k.CloseFD(tk, fd)
+				}
+				return err
+			}},
+		{"read_file", faultinject.SiteSysReadFile, []errno.Errno{errno.ENOMEM, errno.EIO},
+			func(k *Kernel, tk *Task) error {
+				_, err := k.ReadFile(tk, "/etc/motd")
+				return err
+			}},
+		{"vfs_lookup", faultinject.SiteVFSLookup, []errno.Errno{errno.ENOMEM, errno.EIO},
+			func(k *Kernel, tk *Task) error {
+				_, err := k.ReadFile(tk, "/etc/motd")
+				return err
+			}},
+		{"vfs_read_file", faultinject.SiteVFSReadFile, []errno.Errno{errno.ENOMEM, errno.EIO},
+			func(k *Kernel, tk *Task) error {
+				_, err := k.FS.ReadFile(vfs.RootCred, "/etc/motd")
+				return err
+			}},
+		{"mount", faultinject.SiteSysMount, []errno.Errno{errno.ENOMEM, errno.EIO, errno.EBUSY},
+			func(k *Kernel, tk *Task) error {
+				err := k.Mount(tk, "/dev/cdrom", "/mnt", "iso9660", []string{"ro"})
+				if err == nil {
+					_ = k.Umount(tk, "/mnt")
+				}
+				return err
+			}},
+	}
+	for _, c := range cases {
+		for _, e := range c.errs {
+			t.Run(c.name+"/"+e.Name(), func(t *testing.T) {
+				k := mountableKernel(t)
+				root := k.InitTask()
+				in := faultinject.New(faultinject.Plan{Seed: 1, Rules: []faultinject.Rule{
+					{Site: c.site, Action: faultinject.ActErr, Err: e, Nth: 1},
+				}})
+				k.SetFaultInjector(in)
+				err := c.op(k, root)
+				if err == nil {
+					t.Fatalf("expected injected %s, got success", e.Name())
+				}
+				if !errno.Is(err, e) {
+					t.Fatalf("error %v does not unwrap to %s", err, e.Name())
+				}
+				if errno.Of(err) != e {
+					t.Fatalf("errno.Of(%v) = %v, want %v", err, errno.Of(err), e)
+				}
+				if in.Injections() != 1 {
+					t.Fatalf("injections = %d, want 1", in.Injections())
+				}
+				// The nth=1 rule is spent: the same operation must now
+				// succeed — a failed syscall may not poison kernel state.
+				if err := c.op(k, root); err != nil {
+					t.Fatalf("operation still failing after fault cleared: %v", err)
+				}
+			})
+		}
+	}
+}

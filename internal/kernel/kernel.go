@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/netfilter"
 	"protego/internal/netstack"
@@ -92,6 +93,11 @@ type Kernel struct {
 	devices  atomic.Pointer[map[string]IoctlHandler]
 
 	unprivNS atomic.Bool
+
+	// faults is the optional fault-injection layer (nil in normal runs).
+	// An atomic pointer so the sweep harness can install/replace it while
+	// syscalls are in flight; checks read the snapshot lock-free.
+	faults atomic.Pointer[faultinject.Injector]
 }
 
 // shardFor returns the task-table shard owning pid.
@@ -129,6 +135,28 @@ func New(mode Mode, hostIP netstack.IP) *Kernel {
 	k.Trace.RegisterCounter("dcache.miss", func() uint64 { return fs.DcacheStats().Misses })
 	k.Trace.RegisterCounter("dcache.invalidate", func() uint64 { return fs.DcacheStats().Invalidates })
 	return k
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault-injection
+// layer and fans it out to the VFS and the netstack. The injector's trace
+// output is routed onto the kernel's ring so injections interleave with
+// the syscalls they perturb.
+func (k *Kernel) SetFaultInjector(in *faultinject.Injector) {
+	in.SetTracer(k.Trace)
+	k.faults.Store(in)
+	k.FS.SetFaultInjector(in)
+	k.Net.SetFaultInjector(in)
+}
+
+// FaultInjector returns the installed fault injector, or nil.
+func (k *Kernel) FaultInjector() *faultinject.Injector {
+	return k.faults.Load()
+}
+
+// faultCheck registers a hit at a syscall-entry injection site, returning
+// the injected error if one fired. Nil-injector safe and lock-free.
+func (k *Kernel) faultCheck(site string) error {
+	return k.faults.Load().Check(site)
 }
 
 // Auditf records a security-relevant event as a structured KindAudit record
@@ -359,6 +387,9 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 		k.Trace.SyscallExit(tok, ferr)
 		return -1, ferr
 	}
+	if ferr := k.faultCheck(faultinject.SiteSysExec); ferr != nil {
+		return fail(ferr)
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -439,29 +470,56 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 	return prog(k, t), nil
 }
 
-// Spawn is the fork+exec+wait convenience used by shells, utilities, and
-// tests: it runs path in a child of parent and returns the child's exit
-// code. The child shares the parent's terminal.
-func (k *Kernel) Spawn(parent *Task, path string, argv []string, env map[string]string) (int, error) {
-	child := k.Fork(parent)
-	code, err := k.Exec(child, path, argv, env)
-	k.Exit(child, code)
-	return code, err
+// SpawnOpts configures Spawn. The zero value runs the child on the
+// parent's terminal with the parent's prompt answerer.
+type SpawnOpts struct {
+	// Capture gives the child fresh stdout/stderr buffers whose contents
+	// are returned in SpawnResult instead of reaching the parent's
+	// terminal.
+	Capture bool
+	// Asker, when non-nil, answers the child's password prompts.
+	Asker func(string) string
 }
 
-// SpawnCapture runs path in a child with fresh stdout/stderr buffers and an
-// optional prompt answerer, returning the exit code and captured output.
-func (k *Kernel) SpawnCapture(parent *Task, path string, argv []string, env map[string]string, asker func(string) string) (code int, stdout, stderr string, err error) {
+// SpawnResult is the outcome of a Spawn: the child's exit code and, when
+// SpawnOpts.Capture was set, its terminal output.
+type SpawnResult struct {
+	Code   int
+	Stdout string
+	Stderr string
+}
+
+// Spawn is the fork+exec+wait convenience used by shells, utilities, and
+// tests: it runs path in a child of parent and returns the child's exit
+// code plus (with opts.Capture) its captured output.
+func (k *Kernel) Spawn(parent *Task, path string, argv []string, env map[string]string, opts SpawnOpts) (SpawnResult, error) {
 	child := k.Fork(parent)
-	var out, errOut bytes.Buffer
-	child.Stdout = &out
-	child.Stderr = &errOut
-	if asker != nil {
-		child.Asker = asker
+	var out, errOut *bytes.Buffer
+	if opts.Capture {
+		out, errOut = &bytes.Buffer{}, &bytes.Buffer{}
+		child.Stdout = out
+		child.Stderr = errOut
 	}
-	code, err = k.Exec(child, path, argv, env)
+	if opts.Asker != nil {
+		child.Asker = opts.Asker
+	}
+	code, err := k.Exec(child, path, argv, env)
 	k.Exit(child, code)
-	return code, out.String(), errOut.String(), err
+	res := SpawnResult{Code: code}
+	if opts.Capture {
+		res.Stdout = out.String()
+		res.Stderr = errOut.String()
+	}
+	return res, err
+}
+
+// SpawnCapture runs path in a child with fresh output buffers and an
+// optional prompt answerer.
+//
+// Deprecated: use Spawn with SpawnOpts{Capture: true, Asker: asker}.
+func (k *Kernel) SpawnCapture(parent *Task, path string, argv []string, env map[string]string, asker func(string) string) (code int, stdout, stderr string, err error) {
+	res, err := k.Spawn(parent, path, argv, env, SpawnOpts{Capture: true, Asker: asker})
+	return res.Code, res.Stdout, res.Stderr, err
 }
 
 // denyErr converts an LSM deny into a concrete error.

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/vfs"
 )
@@ -53,10 +54,13 @@ func (k *Kernel) fileOpenHook(t *Task, path string, ino *vfs.Inode, write bool, 
 func (k *Kernel) Open(t *Task, path string, flags int) (fd int, err error) {
 	tok := k.sysEnter("open", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysOpen); err != nil {
+		return -1, err
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
-	if err == errno.ENOENT && flags&O_CREAT != 0 {
+	if errno.Is(err, errno.ENOENT) && flags&O_CREAT != 0 {
 		want := vfs.MayWrite
 		ino, err = k.FS.Create(creds, clean, 0o644, creds.FUID, creds.FGID)
 		if err != nil {
@@ -113,6 +117,9 @@ func (t *Task) fdesc(fd int) (*FileDesc, error) {
 func (k *Kernel) Read(t *Task, fd, n int) (buf []byte, err error) {
 	tok := k.sysEnter("read", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysRead); err != nil {
+		return nil, err
+	}
 	f, err := t.fdesc(fd)
 	if err != nil {
 		return nil, err
@@ -138,6 +145,9 @@ func (k *Kernel) Read(t *Task, fd, n int) (buf []byte, err error) {
 func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
 	tok := k.sysEnter("write", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysWrite); err != nil {
+		return 0, err
+	}
 	f, err := t.fdesc(fd)
 	if err != nil {
 		return 0, err
@@ -211,6 +221,9 @@ func (k *Kernel) Access(t *Task, path string, want int) (err error) {
 func (k *Kernel) ReadFile(t *Task, path string) (buf []byte, err error) {
 	tok := k.sysEnter("readfile", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysReadFile); err != nil {
+		return nil, err
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -239,10 +252,13 @@ func (k *Kernel) ReadFile(t *Task, path string) (buf []byte, err error) {
 func (k *Kernel) WriteFile(t *Task, path string, data []byte) (err error) {
 	tok := k.sysEnter("writefile", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysWriteFile); err != nil {
+		return err
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
-	if err == errno.ENOENT {
+	if errno.Is(err, errno.ENOENT) {
 		return k.FS.WriteFile(creds, clean, data, 0o644, creds.FUID, creds.FGID)
 	}
 	if err != nil {

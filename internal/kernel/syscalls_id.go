@@ -3,6 +3,7 @@ package kernel
 import (
 	"protego/internal/caps"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 )
 
@@ -38,6 +39,9 @@ func (k *Kernel) Getpid(t *Task) int {
 func (k *Kernel) Setuid(t *Task, uid int) (err error) {
 	tok := k.sysEnter("setuid", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysSetuid); err != nil {
+		return err
+	}
 	if uid < 0 {
 		return errno.EINVAL
 	}

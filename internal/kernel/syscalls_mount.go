@@ -3,6 +3,7 @@ package kernel
 import (
 	"protego/internal/caps"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/vfs"
 )
@@ -25,6 +26,9 @@ func hasOpt(opts []string, opt string) bool {
 func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) (err error) {
 	tok := k.sysEnter("mount", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysMount); err != nil {
+		return err
+	}
 	req := &lsm.MountRequest{
 		Device:   device,
 		Point:    vfs.CleanPath(point, t.Cwd()),
@@ -62,6 +66,9 @@ func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) 
 func (k *Kernel) Umount(t *Task, point string) (err error) {
 	tok := k.sysEnter("umount", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysUmount); err != nil {
+		return err
+	}
 	clean := vfs.CleanPath(point, t.Cwd())
 	existing := k.FS.MountAt(clean)
 	if existing == nil {

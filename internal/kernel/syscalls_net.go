@@ -5,6 +5,7 @@ import (
 
 	"protego/internal/caps"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/netstack"
 )
@@ -16,6 +17,9 @@ import (
 func (k *Kernel) Socket(t *Task, family, typ, proto int) (sock *netstack.Socket, err error) {
 	tok := k.sysEnter("socket", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysSocket); err != nil {
+		return nil, err
+	}
 	raw := typ == netstack.SOCK_RAW || family == netstack.AF_PACKET
 	req := &lsm.SocketRequest{Family: family, Type: typ, Proto: proto}
 	dec, err := k.LSM.SocketCreate(t, req)
@@ -52,6 +56,9 @@ func (k *Kernel) Socket(t *Task, family, typ, proto int) (sock *netstack.Socket,
 func (k *Kernel) Bind(t *Task, sock *netstack.Socket, port int) (err error) {
 	tok := k.sysEnter("bind", t)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err = k.faultCheck(faultinject.SiteSysBind); err != nil {
+		return err
+	}
 	if port > 0 && port < 1024 {
 		req := &lsm.BindRequest{
 			Family: sock.Family,

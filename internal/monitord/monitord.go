@@ -11,6 +11,7 @@
 package monitord
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"sync"
@@ -18,6 +19,8 @@ import (
 
 	"protego/internal/accountdb"
 	"protego/internal/core"
+	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/kernel"
 	"protego/internal/policy"
 	"protego/internal/vfs"
@@ -42,19 +45,36 @@ type Daemon struct {
 	// Debounce is the settle delay after a burst of file events.
 	Debounce time.Duration
 
+	// MaxRetries is how many times a failed sync pass is retried (with
+	// doubling backoff starting at RetryBackoff) before the daemon gives
+	// up for this round and keeps the last good policy. Transient faults
+	// — a torn read racing an editor, a spurious EIO — heal on retry; a
+	// persistently malformed file leaves the kernel's previous policy
+	// untouched, so a bad reload can never empty a whitelist.
+	MaxRetries   int
+	RetryBackoff time.Duration
+
 	mu    sync.Mutex
 	syncs map[string]int
+	// fragmentsSuspect latches after a failed legacy->fragments push. The
+	// reverse direction (fragments -> legacy) is refused while set: a
+	// partially written fragment tree must never be treated as
+	// authoritative, or the rebuild would silently drop accounts from
+	// /etc/passwd and /etc/shadow. A later successful push clears it.
+	fragmentsSuspect bool
 }
 
 // New creates a daemon for the kernel. mod may be nil when the daemon is
 // used only for account synchronization; policy syncs then fail.
 func New(k *kernel.Kernel, db *accountdb.DB, mod *core.Module) *Daemon {
 	return &Daemon{
-		k:        k,
-		db:       db,
-		mod:      mod,
-		Debounce: 5 * time.Millisecond,
-		syncs:    make(map[string]int),
+		k:            k,
+		db:           db,
+		mod:          mod,
+		Debounce:     5 * time.Millisecond,
+		MaxRetries:   2,
+		RetryBackoff: 500 * time.Microsecond,
+		syncs:        make(map[string]int),
 	}
 }
 
@@ -73,16 +93,51 @@ func (d *Daemon) bump(target string) {
 	d.mu.Unlock()
 }
 
-// traced times one reparse/push cycle, emits its trace event, and counts
-// the pass on success.
+// traced runs one reparse/push cycle with bounded retry. Each attempt is
+// timed and emitted on the trace ring; a pass that keeps failing after
+// MaxRetries retries is abandoned, leaving the last good in-kernel policy
+// in place (the /proc writers swap atomically, so a failed attempt never
+// applies partially).
 func (d *Daemon) traced(target string, fn func() error) error {
-	start := time.Now()
-	err := fn()
-	d.k.Trace.MonitordSync(target, time.Since(start), err)
-	if err == nil {
-		d.bump(target)
+	var err error
+	backoff := d.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		err = fn()
+		d.k.Trace.MonitordSync(target, time.Since(start), err)
+		if err == nil {
+			d.bump(target)
+			return nil
+		}
+		if attempt >= d.MaxRetries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
+	d.k.Auditf("monitord: sync %s failed after %d attempts, keeping last good policy: %v",
+		target, d.MaxRetries+1, err)
 	return err
+}
+
+// readConfig reads a watched configuration file, routing the bytes
+// through the kernel's fault injector (when armed) so tests can model
+// torn reads — a half-written file caught mid-rename. Every watched file
+// is text, so a NUL byte can only mean a torn or corrupt read; detecting
+// it here fails the pass before any parser can quietly accept a prefix.
+func (d *Daemon) readConfig(site, path string) ([]byte, error) {
+	data, err := d.k.FS.ReadFile(vfs.RootCred, path)
+	if err != nil {
+		return nil, err
+	}
+	data, err = d.k.FaultInjector().CheckData(site, data)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.IndexByte(data, 0) >= 0 {
+		return nil, fmt.Errorf("monitord: %s: torn read (NUL in text config): %w", path, errno.EIO)
+	}
+	return data, nil
 }
 
 // writeProc writes data to a /proc policy file with root credentials (the
@@ -93,7 +148,7 @@ func (d *Daemon) writeProc(path string, data string) error {
 		return err
 	}
 	if ino.WriteFn == nil {
-		return fmt.Errorf("monitord: %s is not a policy file", path)
+		return fmt.Errorf("monitord: %s is not a policy file: %w", path, errno.EINVAL)
 	}
 	return ino.WriteFn(vfs.RootCred, []byte(data))
 }
@@ -103,7 +158,7 @@ func (d *Daemon) writeProc(path string, data string) error {
 func (d *Daemon) SyncMounts() error { return d.traced("mounts", d.syncMounts) }
 
 func (d *Daemon) syncMounts() error {
-	data, err := d.k.FS.ReadFile(vfs.RootCred, FstabPath)
+	data, err := d.readConfig(faultinject.SiteMonFstab, FstabPath)
 	if err != nil {
 		return err
 	}
@@ -128,7 +183,7 @@ func (d *Daemon) SyncDelegation() error { return d.traced("delegation", d.syncDe
 
 func (d *Daemon) syncDelegation() error {
 	var b strings.Builder
-	data, err := d.k.FS.ReadFile(vfs.RootCred, SudoersPath)
+	data, err := d.readConfig(faultinject.SiteMonSudoers, SudoersPath)
 	if err != nil {
 		return err
 	}
@@ -136,7 +191,7 @@ func (d *Daemon) syncDelegation() error {
 	b.WriteByte('\n')
 	if names, err := d.k.FS.ReadDir(vfs.RootCred, SudoersDir); err == nil {
 		for _, name := range names {
-			frag, err := d.k.FS.ReadFile(vfs.RootCred, SudoersDir+"/"+name)
+			frag, err := d.readConfig(faultinject.SiteMonSudoers, SudoersDir+"/"+name)
 			if err != nil {
 				return err
 			}
@@ -152,7 +207,7 @@ func (d *Daemon) syncDelegation() error {
 func (d *Daemon) SyncBind() error { return d.traced("bind", d.syncBind) }
 
 func (d *Daemon) syncBind() error {
-	data, err := d.k.FS.ReadFile(vfs.RootCred, BindPath)
+	data, err := d.readConfig(faultinject.SiteMonBind, BindPath)
 	if err != nil {
 		return err
 	}
@@ -177,7 +232,7 @@ func (d *Daemon) syncBind() error {
 func (d *Daemon) SyncPPP() error { return d.traced("ppp", d.syncPPP) }
 
 func (d *Daemon) syncPPP() error {
-	data, err := d.k.FS.ReadFile(vfs.RootCred, PPPOptionsPath)
+	data, err := d.readConfig(faultinject.SiteMonPPP, PPPOptionsPath)
 	if err != nil {
 		return err
 	}
@@ -189,6 +244,15 @@ func (d *Daemon) syncPPP() error {
 // ran passwd or chsh).
 func (d *Daemon) SyncAccountsFromFragments() error {
 	return d.traced("accounts-legacy", func() error {
+		if err := d.k.FaultInjector().Check(faultinject.SiteMonAccounts); err != nil {
+			return err
+		}
+		d.mu.Lock()
+		suspect := d.fragmentsSuspect
+		d.mu.Unlock()
+		if suspect {
+			return fmt.Errorf("monitord: fragment tree incomplete after failed push, keeping legacy files: %w", errno.EIO)
+		}
 		if err := accountdb.SynthesizeLegacy(d.k.FS); err != nil {
 			return err
 		}
@@ -202,7 +266,12 @@ func (d *Daemon) SyncAccountsFromFragments() error {
 // SyncAccountsToFragments re-fragments the shared files (called when the
 // legacy files change — e.g. the administrator ran vipw or added a user).
 func (d *Daemon) SyncAccountsToFragments() error {
-	return d.traced("accounts-fragments", func() error {
+	err := d.traced("accounts-fragments", func() error {
+		// The legacy passwd file feeds the fragmenting; a torn read of it
+		// must abort the whole pass before any fragment is rewritten.
+		if _, err := d.readConfig(faultinject.SiteMonAccounts, accountdb.PasswdFile); err != nil {
+			return err
+		}
 		if err := accountdb.Fragment(d.k.FS); err != nil {
 			return err
 		}
@@ -211,6 +280,10 @@ func (d *Daemon) SyncAccountsToFragments() error {
 		}
 		return nil
 	})
+	d.mu.Lock()
+	d.fragmentsSuspect = err != nil
+	d.mu.Unlock()
+	return err
 }
 
 // SyncAll performs every synchronization once (boot-time initialization).

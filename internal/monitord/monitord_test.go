@@ -1,11 +1,15 @@
 package monitord_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"protego/internal/accountdb"
+	"protego/internal/core"
+	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/userspace"
 	"protego/internal/vfs"
 	"protego/internal/world"
@@ -204,5 +208,72 @@ func TestWatcherAccountConvergence(t *testing.T) {
 	if m.Monitor.SyncCount("accounts-legacy") != countLegacy ||
 		m.Monitor.SyncCount("accounts-fragments") != countFrag {
 		t.Fatal("account sync did not converge (ping-pong)")
+	}
+}
+
+// A torn fstab read must fail the reload and keep the previous mount
+// whitelist intact — never an empty or partial one. Once the fault
+// clears, a reload applies the new rules.
+func TestTornFstabReloadKeepsLastGoodWhitelist(t *testing.T) {
+	m := protegoMachine(t)
+	before := m.Protego.MountRules()
+	if len(before) == 0 {
+		t.Fatal("boot sync left an empty whitelist")
+	}
+	fstab, err := m.K.FS.ReadFile(vfs.RootCred, "/etc/fstab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := string(fstab) + "/dev/sdc1 /mnt/backup ext4 rw,user 0 0\n"
+	if err := m.K.FS.WriteFile(vfs.RootCred, "/etc/fstab", []byte(updated), 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	in := faultinject.New(faultinject.Plan{Seed: 7, Rules: []faultinject.Rule{
+		{Site: faultinject.SiteMonFstab, Action: faultinject.ActTorn, Every: 1},
+	}})
+	m.SetFaultInjector(in)
+	m.Monitor.RetryBackoff = 50 * time.Microsecond
+	if err := m.Monitor.SyncMounts(); err == nil {
+		t.Fatal("reload of a torn fstab should fail")
+	}
+	if in.Injections() == 0 {
+		t.Fatal("torn fault never fired")
+	}
+	after := m.Protego.MountRules()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("whitelist changed under torn reload:\n before: %v\n after:  %v", before, after)
+	}
+
+	// Fault cleared: the retried reload picks up the new entry.
+	in.SetEnabled(false)
+	if err := m.Monitor.SyncMounts(); err != nil {
+		t.Fatalf("reload after fault cleared: %v", err)
+	}
+	if got := len(m.Protego.MountRules()); got != len(before)+1 {
+		t.Fatalf("rules after recovery = %d, want %d", got, len(before)+1)
+	}
+}
+
+// A partially parsed /proc/protego/mounts batch must not be applied: the
+// write fails with EINVAL and the whitelist is untouched (the swap-on-
+// success guarantee behind every monitord reload path).
+func TestProcMountsWriteIsAtomic(t *testing.T) {
+	m := protegoMachine(t)
+	before := m.Protego.MountRules()
+	ino, err := m.K.FS.Lookup(vfs.RootCred, core.ProcMounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := "clear\nadd /dev/x /media/x vfat rw user\nadd broken-rule\n"
+	err = ino.WriteFn(vfs.RootCred, []byte(batch))
+	if err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	if !errno.Is(err, errno.EINVAL) {
+		t.Fatalf("err = %v, want EINVAL", err)
+	}
+	if !reflect.DeepEqual(before, m.Protego.MountRules()) {
+		t.Fatalf("whitelist mutated by failed batch (cleared or partial): %v", m.Protego.MountRules())
 	}
 }

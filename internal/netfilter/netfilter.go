@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"protego/internal/errno"
 	"protego/internal/netstack"
 	"protego/internal/trace"
 )
@@ -233,7 +234,7 @@ func (t *Table) Append(chain string, r *Rule) error {
 	defer t.mu.Unlock()
 	c, ok := t.chains[chain]
 	if !ok {
-		return fmt.Errorf("netfilter: no chain %q", chain)
+		return fmt.Errorf("netfilter: no chain %q: %w", chain, errno.ENOENT)
 	}
 	c.rules = append(c.rules, r)
 	c.rebuildIndexLocked()
@@ -247,7 +248,7 @@ func (t *Table) Flush(chain string) error {
 	defer t.mu.Unlock()
 	c, ok := t.chains[chain]
 	if !ok {
-		return fmt.Errorf("netfilter: no chain %q", chain)
+		return fmt.Errorf("netfilter: no chain %q: %w", chain, errno.ENOENT)
 	}
 	c.rules = nil
 	c.rebuildIndexLocked()
@@ -260,7 +261,7 @@ func (t *Table) SetPolicy(chain string, v Verdict) error {
 	defer t.mu.Unlock()
 	c, ok := t.chains[chain]
 	if !ok {
-		return fmt.Errorf("netfilter: no chain %q", chain)
+		return fmt.Errorf("netfilter: no chain %q: %w", chain, errno.ENOENT)
 	}
 	c.Policy = v
 	return nil
@@ -329,34 +330,33 @@ func (t *Table) Output(pkt *netstack.Packet) Verdict {
 	return policy
 }
 
-// Matched returns how many packets the named rule has matched, summed
-// across chains. Counts live on the rules themselves (per-rule atomics),
-// so they do not survive a Flush of the owning chain.
-func (t *Table) Matched(name string) uint64 {
-	var n uint64
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, c := range t.chains {
-		for _, r := range c.rules {
-			if r.Name == name {
-				n += r.hits.Load()
-			}
-		}
-	}
-	return n
+// TableStats is a point-in-time snapshot of the table's counters.
+type TableStats struct {
+	// Matched holds every rule's match count by rule name, summed across
+	// chains. Counts live on the rules themselves (per-rule atomics), so
+	// they do not survive a Flush of the owning chain.
+	Matched map[string]uint64
+	// Fastpath counts packets whose verdict came via the compiled
+	// dispatch index with at least one rule pruned.
+	Fastpath uint64
 }
 
-// MatchedCounts returns a snapshot of every rule's match count by name.
-func (t *Table) MatchedCounts() map[string]uint64 {
-	out := make(map[string]uint64)
+// Stats returns a snapshot of the table's match and fast-path counters.
+// It replaces the former Matched/MatchedCounts pair: read one rule's
+// count as Stats().Matched["rule-name"].
+func (t *Table) Stats() TableStats {
+	s := TableStats{
+		Matched:  make(map[string]uint64),
+		Fastpath: t.fastpath.Load(),
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, c := range t.chains {
 		for _, r := range c.rules {
-			out[r.Name] += r.hits.Load()
+			s.Matched[r.Name] += r.hits.Load()
 		}
 	}
-	return out
+	return s
 }
 
 // verdictName renders a verdict in iptables target style.

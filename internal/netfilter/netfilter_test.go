@@ -92,11 +92,12 @@ func TestRuleMatchCounters(t *testing.T) {
 	tbl := protegoTable(t)
 	_ = tbl.Output(icmpEcho(true))
 	_ = tbl.Output(rawTCP(true, false))
-	if tbl.Matched("allow-unpriv-icmp-echo") != 1 {
-		t.Fatalf("counters: %v", tbl.MatchedCounts())
+	stats := tbl.Stats()
+	if stats.Matched["allow-unpriv-icmp-echo"] != 1 {
+		t.Fatalf("counters: %v", stats.Matched)
 	}
-	if tbl.Matched("drop-unpriv-raw-tcp") != 1 {
-		t.Fatalf("counters: %v", tbl.MatchedCounts())
+	if stats.Matched["drop-unpriv-raw-tcp"] != 1 {
+		t.Fatalf("counters: %v", stats.Matched)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 )
 
 // Address families and socket types, mirroring the Linux constants used by
@@ -221,6 +222,10 @@ type Stack struct {
 
 	filter atomic.Pointer[filterBox]
 
+	// faults is the optional fault-injection layer (nil normally); an
+	// atomic snapshot like the output filter, loaded once per operation.
+	faults atomic.Pointer[faultinject.Injector]
+
 	// Stats observable by tests and benchmarks via SentPackets and
 	// DroppedPackets; atomics so the send path never write-locks.
 	sentPackets    atomic.Uint64
@@ -267,6 +272,19 @@ func (s *Stack) currentFilter() OutputFilter {
 		return box.f
 	}
 	return nil
+}
+
+// SetFaultInjector installs (or removes, with nil) the fault-injection
+// layer for the stack's send paths. Normally called through
+// kernel.SetFaultInjector.
+func (s *Stack) SetFaultInjector(in *faultinject.Injector) {
+	s.faults.Store(in)
+}
+
+// faultInjector returns the installed injector (possibly nil; all its
+// methods are nil-safe).
+func (s *Stack) faultInjector() *faultinject.Injector {
+	return s.faults.Load()
 }
 
 // SentPackets reports how many packets passed the output path.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 )
 
 // recvQueueDepth bounds per-socket receive queues; overflowing packets are
@@ -130,6 +131,9 @@ func (s *Stack) Connect(sock *Socket, dst IP, port int) error {
 	if sock.Type != SOCK_STREAM {
 		return errno.EINVAL
 	}
+	if err := s.faultInjector().Check(faultinject.SiteNetConnect); err != nil {
+		return err
+	}
 	sock.mu.Lock()
 	if sock.connected {
 		sock.mu.Unlock()
@@ -227,18 +231,32 @@ func (s *Stack) Send(sock *Socket, data []byte) (int, error) {
 	if !connected || peer == nil {
 		return 0, errno.ENOTCONN
 	}
+	act, ferr := s.faultInjector().CheckSend(faultinject.SiteNetSend)
+	if ferr != nil {
+		return 0, ferr
+	}
 	pkt := &Packet{
 		Src: sock.LocalIP, Dst: sock.RemoteIP,
 		Proto: IPPROTO_TCP, SrcPort: sock.LocalPort, DstPort: sock.RemotePort,
 		Payload: append([]byte(nil), data...),
 	}
 	s.sentPackets.Add(1)
-	select {
-	case peer.recvQ <- pkt:
+	if act == faultinject.ActDrop {
+		// Lost on the wire: the send succeeds, nothing arrives.
 		return len(data), nil
-	case <-time.After(time.Second):
-		return 0, errno.ETIMEDOUT
 	}
+	copies := 1
+	if act == faultinject.ActDup {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		select {
+		case peer.recvQ <- pkt:
+		case <-time.After(time.Second):
+			return 0, errno.ETIMEDOUT
+		}
+	}
+	return len(data), nil
 }
 
 // Recv reads stream data from the socket, blocking up to timeout.
@@ -280,13 +298,26 @@ func (s *Stack) SendTo(sock *Socket, pkt *Packet) error {
 		s.droppedPackets.Add(1)
 		return errno.EPERM
 	}
+
+	// Fault injection sits after the filter verdict: policy drops stay
+	// policy drops (EPERM), injected ones model loss on the wire.
+	act, ferr := s.faultInjector().CheckSend(faultinject.SiteNetSendTo)
+	if ferr != nil {
+		return ferr
+	}
 	s.sentPackets.Add(1)
+	if act == faultinject.ActDrop {
+		return nil // sent but never delivered
+	}
 
 	target, err := s.resolveTarget(pkt.Dst)
 	if err != nil {
 		return err
 	}
 	target.deliver(pkt, sock)
+	if act == faultinject.ActDup {
+		target.deliver(pkt, sock)
+	}
 	return nil
 }
 

@@ -36,8 +36,11 @@ const (
 	KindAuthCheck
 	// KindAudit is a legacy security-audit line (the Kernel.Auditf shim).
 	KindAudit
+	// KindFaultInject records one deliberate fault injection (site, action,
+	// errno, hit count) so a failing sweep run replays exactly.
+	KindFaultInject
 
-	numKinds = 7
+	numKinds = 8
 )
 
 // String names the kind.
@@ -57,6 +60,8 @@ func (k Kind) String() string {
 		return "auth"
 	case KindAudit:
 		return "audit"
+	case KindFaultInject:
+		return "fault"
 	default:
 		return "invalid"
 	}

@@ -214,6 +214,20 @@ func (tr *Tracer) AuthCheck(mechanism, subject string, pid, uid int, ok bool) {
 	tr.CountDecision("auth:"+mechanism, mechanism, outcome)
 }
 
+// FaultInject records one deliberate fault injection: site is the
+// registered injection site, action the fault kind ("err", "drop", "dup",
+// "torn"), errname the injected errno's symbolic name (empty for non-error
+// actions), and hit the site's 1-based hit count at injection time. The
+// record is what makes a failing sweep run replayable.
+func (tr *Tracer) FaultInject(site, action, errname string, hit uint64) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(Event{Kind: KindFaultInject, Name: site, Module: action,
+		Err: errname, Msg: fmt.Sprintf("hit=%d", hit)})
+	tr.CountDecision("fault:"+site, action, "injected")
+}
+
 // Audit emits a legacy audit line as a structured event.
 func (tr *Tracer) Audit(msg string) {
 	if tr == nil {

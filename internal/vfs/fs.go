@@ -3,10 +3,12 @@ package vfs
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protego/internal/caps"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 )
 
 // FS is an in-memory file system tree with Unix semantics. A single lock
@@ -25,6 +27,11 @@ type FS struct {
 	watchSeq  int
 	mounts    []*Mount
 	mountSave map[string][]savedDir
+
+	// faults is the optional fault-injection layer (nil normally). Checks
+	// run before fs.mu is taken, so an injected failure can never leak a
+	// lock.
+	faults atomic.Pointer[faultinject.Injector]
 }
 
 type savedDir struct {
@@ -70,6 +77,18 @@ func (fs *FS) newInode(mode Mode, uid, gid int) *Inode {
 		ino.children = make(map[string]*Inode)
 	}
 	return ino
+}
+
+// SetFaultInjector installs (or removes, with nil) the fault-injection
+// layer for VFS operations. Normally called through
+// kernel.SetFaultInjector.
+func (fs *FS) SetFaultInjector(in *faultinject.Injector) {
+	fs.faults.Store(in)
+}
+
+// faultCheck registers a hit at a vfs.* injection site. Nil-injector safe.
+func (fs *FS) faultCheck(site string) error {
+	return fs.faults.Load().Check(site)
 }
 
 // resolve walks path (already cleaned and absolute) checking MayExec on every
@@ -145,6 +164,9 @@ func joinComps(comps []string) string {
 
 // Lookup resolves path to an inode, following symlinks.
 func (fs *FS) Lookup(c Cred, path string) (*Inode, error) {
+	if err := fs.faultCheck(faultinject.SiteVFSLookup); err != nil {
+		return nil, err
+	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.lookupLocked(c, cleanedPath(path, "/"), true)
@@ -183,6 +205,9 @@ func (fs *FS) lookupParent(c Cred, path string) (*Inode, string, error) {
 
 // Mkdir creates a directory. The parent must grant write+exec.
 func (fs *FS) Mkdir(c Cred, path string, mode Mode, uid, gid int) (*Inode, error) {
+	if err := fs.faultCheck(faultinject.SiteVFSMkdir); err != nil {
+		return nil, err
+	}
 	fs.mu.Lock()
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
@@ -229,6 +254,9 @@ func (fs *FS) MkdirAll(c Cred, path string, mode Mode, uid, gid int) error {
 
 // Create makes a new regular file (failing if it exists) and returns its inode.
 func (fs *FS) Create(c Cred, path string, mode Mode, uid, gid int) (*Inode, error) {
+	if err := fs.faultCheck(faultinject.SiteVFSCreate); err != nil {
+		return nil, err
+	}
 	fs.mu.Lock()
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
@@ -334,6 +362,9 @@ func (fs *FS) CreateProc(path string, mode Mode, read ProcReadFunc, write ProcWr
 // ReadFile returns the contents of the file at path, enforcing read
 // permission along the way. Proc files call their read handler.
 func (fs *FS) ReadFile(c Cred, path string) ([]byte, error) {
+	if err := fs.faultCheck(faultinject.SiteVFSReadFile); err != nil {
+		return nil, err
+	}
 	fs.mu.RLock()
 	ino, err := fs.lookupLocked(c, cleanedPath(path, "/"), true)
 	fs.mu.RUnlock()
@@ -360,6 +391,9 @@ func (fs *FS) ReadFile(c Cred, path string) ([]byte, error) {
 // WriteFile replaces the contents of the file at path, creating it with the
 // given mode if absent. Write permission (or CAP_DAC_OVERRIDE) is required.
 func (fs *FS) WriteFile(c Cred, path string, data []byte, mode Mode, uid, gid int) error {
+	if err := fs.faultCheck(faultinject.SiteVFSWriteFile); err != nil {
+		return err
+	}
 	clean := cleanedPath(path, "/")
 	fs.mu.RLock()
 	ino, err := fs.lookupLocked(c, clean, true)
@@ -424,6 +458,9 @@ func (fs *FS) writeInode(c Cred, ino *Inode, clean string, data []byte, app bool
 // Remove unlinks the file or empty directory at path. The classic sticky-bit
 // rule applies in sticky directories such as /tmp.
 func (fs *FS) Remove(c Cred, path string) error {
+	if err := fs.faultCheck(faultinject.SiteVFSRemove); err != nil {
+		return err
+	}
 	clean := CleanPath(path, "/")
 	fs.mu.Lock()
 	parent, base, err := fs.lookupParent(c, clean)
@@ -463,6 +500,9 @@ func (fs *FS) Remove(c Cred, path string) error {
 
 // Rename moves oldPath to newPath (replacing a non-directory target).
 func (fs *FS) Rename(c Cred, oldPath, newPath string) error {
+	if err := fs.faultCheck(faultinject.SiteVFSRename); err != nil {
+		return err
+	}
 	oldClean := CleanPath(oldPath, "/")
 	newClean := CleanPath(newPath, "/")
 	fs.mu.Lock()

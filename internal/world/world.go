@@ -17,6 +17,7 @@ import (
 	"protego/internal/caps"
 	"protego/internal/core"
 	"protego/internal/errno"
+	"protego/internal/faultinject"
 	"protego/internal/kernel"
 	"protego/internal/monitord"
 	"protego/internal/netstack"
@@ -137,6 +138,14 @@ func Build(opts Options) (*Machine, error) {
 
 	m.Init = k.InitTask()
 	return m, nil
+}
+
+// SetFaultInjector arms a fault-injection plan machine-wide: the kernel
+// (which fans it out to the VFS and the netstack) and the authentication
+// service. Passing nil disarms injection.
+func (m *Machine) SetFaultInjector(in *faultinject.Injector) {
+	m.K.SetFaultInjector(in)
+	m.Auth.SetFaultInjector(in)
 }
 
 // BuildLinux builds the baseline image.
@@ -512,7 +521,8 @@ func (m *Machine) Session(username string) (*kernel.Task, error) {
 // Run spawns argv[0] in a child of session with fresh output buffers; the
 // asker answers password prompts (nil means "no terminal").
 func (m *Machine) Run(session *kernel.Task, argv []string, asker func(string) string) (int, string, string, error) {
-	return m.K.SpawnCapture(session, argv[0], argv, nil, asker)
+	res, err := m.K.Spawn(session, argv[0], argv, nil, kernel.SpawnOpts{Capture: true, Asker: asker})
+	return res.Code, res.Stdout, res.Stderr, err
 }
 
 // AnswerWith returns an asker that always answers with password.
