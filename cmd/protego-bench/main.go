@@ -15,7 +15,11 @@
 // -quick shrinks the macro workloads for a fast smoke run. -faults runs the
 // deterministic fault-injection sweep (seeded by -faultseed) over both
 // configurations instead of the tables, exiting non-zero on any panic,
-// fail-open decision, or failed recovery.
+// fail-open decision, or failed recovery. -difffuzz N runs N differential
+// syscall-fuzzing traces (seeded by -difffuzzseed) against a fresh
+// baseline/Protego pair each, reporting traces/sec and divergence counts
+// (merged into the -json report when given) and exiting non-zero on any
+// unexplained divergence or invariant violation.
 package main
 
 import (
@@ -45,6 +49,8 @@ func main() {
 	blockRate := flag.Int("blockrate", 1, "block profile rate in ns (SetBlockProfileRate)")
 	faults := flag.Bool("faults", false, "run the deterministic fault-injection sweep over both configurations")
 	faultSeed := flag.Int64("faultseed", 42, "seed for the fault-injection sweep (fixes torn-read offsets)")
+	diffFuzz := flag.Int("difffuzz", 0, "run N differential-fuzzing traces (baseline vs Protego) instead of the tables")
+	diffFuzzSeed := flag.Int64("difffuzzseed", 1, "seed for the differential-fuzzing trace generator")
 	flag.Parse()
 
 	if *mutexProfile != "" || *blockProfile != "" {
@@ -86,6 +92,34 @@ func main() {
 			len(protego.Panics()) + len(protego.FailOpens()) + len(protego.LivenessFailures())
 		if bad > 0 {
 			fmt.Fprintf(os.Stderr, "protego-bench: faults: %d safety violations\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *diffFuzz > 0 {
+		rep, err := bench.RunDiffFuzz(*diffFuzz, *diffFuzzSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatDiffFuzz(rep))
+		if *jsonPath != "" {
+			full, err := bench.ReadReport(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: read %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			full.DiffFuzz = rep
+			if err := bench.WriteReport(*jsonPath, full); err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("updated %s\n", *jsonPath)
+		}
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: %d unexplained divergences, %d invariant violations\n",
+				rep.UnexplainedDivergences, rep.InvariantViolations)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"protego/internal/difffuzz"
+)
+
+// DiffFuzzReport summarizes a differential-fuzzing throughput run: n
+// seeded random traces executed on fresh baseline/Protego machine pairs
+// with per-step fingerprint comparison and invariant checking.
+type DiffFuzzReport struct {
+	Seed                   int64   `json:"seed"`
+	Traces                 int     `json:"traces"`
+	Steps                  int     `json:"steps"`
+	Seconds                float64 `json:"seconds"`
+	TracesPerSec           float64 `json:"traces_per_sec"`
+	StepsPerSec            float64 `json:"steps_per_sec"`
+	ExplainedDivergences   int     `json:"explained_divergences"`
+	UnexplainedDivergences int     `json:"unexplained_divergences"`
+	InvariantViolations    int     `json:"invariant_violations"`
+	// Failures carries the shrunk replayable reproducers, empty on a
+	// clean run.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Clean reports whether the run found no unexplained divergences and no
+// invariant violations.
+func (r *DiffFuzzReport) Clean() bool {
+	return r.UnexplainedDivergences == 0 && r.InvariantViolations == 0
+}
+
+// RunDiffFuzz executes n generated traces from seed and aggregates the
+// outcome. Unlike the test sweep it keeps going past failures so the
+// report counts them all, shrinking each to its replay literal.
+func RunDiffFuzz(n int, seed int64) (*DiffFuzzReport, error) {
+	rep := &DiffFuzzReport{Seed: seed, Traces: n}
+	gen := difffuzz.NewGenerator(seed)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		tr := gen.Next()
+		res, err := difffuzz.Run(tr, difffuzz.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %v", i, err)
+		}
+		rep.Steps += res.Steps
+		rep.ExplainedDivergences += res.Explained
+		if res.Divergence != nil {
+			rep.UnexplainedDivergences++
+		}
+		rep.InvariantViolations += len(res.Violations)
+		if res.Failed() {
+			min := difffuzz.Shrink(tr, difffuzz.Config{})
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("trace %d: %s\nreplay:\n%s", i, res, min.GoLiteral()))
+		}
+	}
+	rep.Seconds = time.Since(start).Seconds()
+	if rep.Seconds > 0 {
+		rep.TracesPerSec = float64(rep.Traces) / rep.Seconds
+		rep.StepsPerSec = float64(rep.Steps) / rep.Seconds
+	}
+	return rep, nil
+}
+
+// FormatDiffFuzz renders the report for the protego-bench -difffuzz mode.
+func FormatDiffFuzz(r *DiffFuzzReport) string {
+	var b strings.Builder
+	b.WriteString("Differential syscall fuzzing (baseline vs Protego, per-step fingerprints)\n")
+	fmt.Fprintf(&b, "  seed=%d traces=%d steps=%d in %.2fs (%.1f traces/s, %.0f steps/s)\n",
+		r.Seed, r.Traces, r.Steps, r.Seconds, r.TracesPerSec, r.StepsPerSec)
+	fmt.Fprintf(&b, "  explained (by-design) divergences: %d\n", r.ExplainedDivergences)
+	fmt.Fprintf(&b, "  unexplained divergences: %d\n", r.UnexplainedDivergences)
+	fmt.Fprintf(&b, "  invariant violations: %d\n", r.InvariantViolations)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  FAILURE %s\n", f)
+	}
+	return b.String()
+}

@@ -31,6 +31,10 @@ type Report struct {
 	// Scaling holds the parallel throughput sweep (GOMAXPROCS 1/2/4/8
 	// over the hot paths); interpret the curves against its HostCPUs.
 	Scaling *ScalingReport `json:"scaling"`
+	// DiffFuzz holds the differential-fuzzing run recorded by
+	// `protego-bench -difffuzz N -json <path>`; absent until that mode
+	// has been run against the report file.
+	DiffFuzz *DiffFuzzReport `json:"difffuzz,omitempty"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit
@@ -212,6 +216,24 @@ func BuildReport(rows []Row, quick bool) (*Report, error) {
 		return nil, err
 	}
 	rep.Scaling = scaling
+	return rep, nil
+}
+
+// ReadReport loads an existing report so a mode that contributes one
+// section (e.g. -difffuzz) can update the file without clobbering the
+// rest; a missing file yields a fresh empty report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Report{Tool: "protego-bench"}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

@@ -58,6 +58,12 @@ type Module struct {
 	requireShadowAuth bool
 	allowSuFallback   bool
 
+	// brokenMountPolicy deliberately grants every unprivileged mount,
+	// bypassing the whitelist. It exists ONLY so the differential fuzzer
+	// can prove it detects a broken policy; nothing in the simulated
+	// system sets it.
+	brokenMountPolicy bool
+
 	// identity caches the uid<->name mapping so hot-path policy checks
 	// do not reparse /etc/passwd (monitord invalidates on change).
 	identity identityCache
@@ -198,6 +204,17 @@ func (m *Module) AllowFileReaders(path string, binaries ...string) {
 func (m *Module) SetAllowUnprivRaw(on bool) {
 	m.mu.Lock()
 	m.allowUnprivRaw = on
+	m.mu.Unlock()
+}
+
+// TestHookBreakMountPolicy disables the mount whitelist check, granting
+// every unprivileged mount request. This is a deliberate vulnerability
+// switch for the differential fuzzer's self-test (it must catch the
+// resulting invariant violations and shrink them); it has no legitimate
+// runtime use.
+func (m *Module) TestHookBreakMountPolicy(on bool) {
+	m.mu.Lock()
+	m.brokenMountPolicy = on
 	m.mu.Unlock()
 }
 

@@ -174,6 +174,14 @@ func (m *Module) MountCheck(t lsm.Task, req *lsm.MountRequest) (lsm.Decision, er
 	if t.Capable(capSysAdmin) {
 		return lsm.NoOpinion, nil // administrator path: base policy
 	}
+	m.mu.RLock()
+	broken := m.brokenMountPolicy
+	m.mu.RUnlock()
+	if broken {
+		// Test hook: whitelist check disabled (see TestHookBreakMountPolicy).
+		m.bumpStat(&m.Stats.MountGrants)
+		return lsm.Grant, nil
+	}
 	// FUSE mounts (fusermount) are grantable over directories the caller
 	// owns: the file system contents are under the user's control anyway,
 	// so ownership of the mount point is the natural object-based policy.

@@ -1,0 +1,46 @@
+package difffuzz
+
+import "testing"
+
+// FuzzDiffTrace is the native fuzzing entry: the engine mutates raw bytes,
+// DecodeTrace interprets them totally as a trace, and any unexplained
+// divergence or invariant violation is a crasher. Run with
+//
+//	go test -fuzz=FuzzDiffTrace ./internal/difffuzz
+//
+// A failure report includes the shrunk replay literal; the engine also
+// persists the raw input under testdata/fuzz/FuzzDiffTrace.
+func FuzzDiffTrace(f *testing.F) {
+	// Seed the corpus with generated traces plus hand-picked shapes that
+	// exercise every relaxed path: whitelisted mount + user umount, raw
+	// socket + filtered sendto, deferred setuid, and the dm ioctl.
+	gen := NewGenerator(99)
+	for i := 0; i < 4; i++ {
+		f.Add(gen.Next().Encode())
+	}
+	f.Add(Trace{
+		{Op: OpMount, Actor: 1, A: 0},        // bob mounts /dev/cdrom /cdrom
+		{Op: OpUtility, Actor: 1, A: 7},      // bob: umount /cdrom
+		{Op: OpSocket, Actor: 0, A: 0, B: 2}, // alice: raw ICMP socket, slot 0
+		{Op: OpSendTo, Actor: 0, A: 0, B: 0}, // alice: echo request (allowed)
+		{Op: OpSendTo, Actor: 0, A: 0, B: 4}, // alice: raw TCP (filtered)
+		{Op: OpSetuid, Actor: 2, A: 0},       // charlie: setuid(0)
+		{Op: OpIoctl, Actor: 0, A: 0},        // alice: DMGETINFO (denied)
+		{Op: OpIoctl, Actor: 0, A: 1},        // alice: VIDIOCSMODE (granted)
+	}.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := DecodeTrace(data)
+		if len(tr) == 0 {
+			t.Skip()
+		}
+		res, err := Run(tr, Config{})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		if res.Failed() {
+			min := Shrink(tr, Config{})
+			t.Fatalf("%s\nminimal reproducer (%d steps):\n%s\nreplay literal:\n%s",
+				res, len(min), min, min.GoLiteral())
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package difffuzz
+
+import "math/rand"
+
+// opWeights biases generation toward the policy-guarded surface (mounts,
+// sockets, utilities) while keeping enough plain-DAC traffic that state
+// keeps changing under the policies' feet.
+var opWeights = [opCount]int{
+	OpForkExit:  1,
+	OpRead:      2,
+	OpWrite:     3,
+	OpChmod:     2,
+	OpChown:     1,
+	OpSetuid:    1,
+	OpSeteuid:   1,
+	OpMkdir:     1,
+	OpUnlink:    1,
+	OpMount:     4,
+	OpUmount:    3,
+	OpSocket:    3,
+	OpBind:      2,
+	OpSendTo:    3,
+	OpCloseSock: 1,
+	OpIoctl:     1,
+	OpUtility:   4,
+}
+
+var totalWeight = func() int {
+	t := 0
+	for _, w := range opWeights {
+		t += w
+	}
+	return t
+}()
+
+// Generator produces random traces from a seed; the same seed always
+// yields the same trace sequence (the deterministic sweep depends on it).
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator creates a seeded generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) pickOp() Op {
+	n := g.rng.Intn(totalWeight)
+	for op, w := range opWeights {
+		if n < w {
+			return Op(op)
+		}
+		n -= w
+	}
+	return OpRead // unreachable
+}
+
+// Next generates a trace of 4..maxTraceLen steps.
+func (g *Generator) Next() Trace {
+	n := 4 + g.rng.Intn(maxTraceLen-4+1)
+	tr := make(Trace, 0, n)
+	for i := 0; i < n; i++ {
+		tr = append(tr, Step{
+			Op:    g.pickOp(),
+			Actor: uint8(g.rng.Intn(256)),
+			A:     uint8(g.rng.Intn(256)),
+			B:     uint8(g.rng.Intn(256)),
+			C:     uint8(g.rng.Intn(256)),
+		})
+	}
+	return tr
+}

@@ -1,0 +1,198 @@
+package difffuzz
+
+import (
+	"fmt"
+
+	"protego/internal/kernel"
+	"protego/internal/netstack"
+	"protego/internal/userspace"
+	"protego/internal/vfs"
+	"protego/internal/world"
+)
+
+// The pools are deliberately tiny so randomly chosen operations collide:
+// two actors fight over the same file, the same mount point, the same
+// port. Collisions are where policy asymmetries hide.
+
+var actors = []string{"alice", "bob", "charlie"}
+
+func actorName(i uint8) string { return actors[int(i)%len(actors)] }
+
+// actorUID mirrors the world's uid assignment for the actor pool.
+var actorUIDs = []int{world.UIDAlice, world.UIDBob, world.UIDCharlie}
+
+// filePaths collide actors on shared, owned, and privileged files.
+var filePaths = []string{
+	"/tmp/shared",
+	"/tmp/scratch",
+	"/home/alice/file",
+	"/home/bob/file",
+	"/home/charlie/file",
+	"/etc/fstab",
+	"/etc/shadow",
+	"/var/www/index.html",
+}
+
+// dirPaths is the mkdir pool (the final component is created).
+var dirPaths = []string{
+	"/tmp/d0",
+	"/tmp/d1",
+	"/home/alice/d",
+	"/etc/d",
+}
+
+// fileModes for chmod; includes a setuid mode so the fuzzer creates
+// setuid bits on ordinary files (the fingerprint must track them).
+var fileModes = []vfs.Mode{0o600, 0o644, 0o666, 0o700, 0o4755}
+
+// poolUIDs for chown/setuid/seteuid arguments: root plus the actors.
+var poolUIDs = []int{0, world.UIDAlice, world.UIDBob, world.UIDCharlie}
+
+// mountSpec is one (device, point, fstype, options) combination.
+type mountSpec struct {
+	device  string
+	point   string
+	fstype  string
+	options []string
+}
+
+// mountSpecs mixes whitelisted rows, near-misses (right device, wrong
+// point; unsafe options), a non-whitelisted device, and a fuse mount over
+// an owned home directory.
+var mountSpecs = []mountSpec{
+	{"/dev/cdrom", "/cdrom", "iso9660", []string{"ro", "nosuid", "nodev"}},
+	{"/dev/sdb1", "/media/usb", "vfat", []string{"rw", "nosuid", "nodev"}},
+	{"/dev/cdrom", "/tmp", "iso9660", []string{"ro"}},
+	{"/dev/cdrom", "/cdrom", "iso9660", []string{"suid"}},
+	{"/dev/sdc1", "/mnt/backup", "ext4", []string{"rw"}},
+	{"/dev/sdc1", "/home/alice", "ext4", []string{"rw"}},
+	{"user-fs", "/home/alice", "fuse", []string{"rw", "nosuid", "nodev"}},
+	{"user-fs", "/home/bob", "fuse", []string{"rw", "nosuid", "nodev"}},
+}
+
+// umountPoints is the umount pool.
+var umountPoints = []string{"/cdrom", "/media/usb", "/mnt/backup", "/home/alice", "/home/bob", "/tmp"}
+
+// socketKind is one socket-creation shape.
+type socketKind struct {
+	family, typ, proto int
+	raw                bool
+}
+
+var socketKinds = []socketKind{
+	{netstack.AF_INET, netstack.SOCK_DGRAM, netstack.IPPROTO_UDP, false},
+	{netstack.AF_INET, netstack.SOCK_STREAM, netstack.IPPROTO_TCP, false},
+	{netstack.AF_INET, netstack.SOCK_RAW, netstack.IPPROTO_ICMP, true},
+	{netstack.AF_INET, netstack.SOCK_RAW, netstack.IPPROTO_RAW, true},
+}
+
+// socketSlots is the number of per-machine socket slots the trace can
+// address; small so creates/binds/closes collide.
+const socketSlots = 4
+
+// bindPorts mixes privileged pool ports (25 is exim's, 80 is httpd's —
+// neither belongs to a fuzz actor), an unprivileged port, and the
+// ephemeral request.
+var bindPorts = []int{25, 80, 8080, 0}
+
+// packetSpec is one sendto shape. passesFilter mirrors the Protego
+// raw-socket OUTPUT ruleset (netfilter.ProtegoDefaultRules): non-spoofed
+// ICMP is allowed, UDP only within the traceroute probe range, and raw
+// TCP/UDP/other fabrication is dropped with EPERM. The fuzzer asserts
+// unprivileged raw sends obey exactly this table (invariant 3).
+type packetSpec struct {
+	proto        int
+	dstPort      int
+	icmpType     int
+	passesFilter bool
+}
+
+var packetSpecs = []packetSpec{
+	{proto: netstack.IPPROTO_ICMP, icmpType: 8, passesFilter: true},   // echo request
+	{proto: netstack.IPPROTO_ICMP, icmpType: 13, passesFilter: true},  // timestamp: ICMP is not fabrication
+	{proto: netstack.IPPROTO_UDP, dstPort: 33434, passesFilter: true}, // traceroute probe
+	{proto: netstack.IPPROTO_UDP, dstPort: 53, passesFilter: false},   // DNS from raw
+	{proto: netstack.IPPROTO_TCP, dstPort: 80, passesFilter: false},   // raw TCP (spoofable)
+	{proto: netstack.IPPROTO_RAW, passesFilter: false},                // arbitrary IP payload
+}
+
+var packetDsts = []netstack.IP{
+	netstack.IPv4(127, 0, 0, 1),
+	netstack.IPv4(10, 0, 0, 2),
+	netstack.IPv4(10, 0, 0, 99),
+}
+
+// ioctlSpec is one device-ioctl shape. dm-0's DMGETINFO discloses the
+// encryption key and must never be granted; the video mode switch is the
+// §4.4 KMS relaxation (granted on Protego, capability-gated on the
+// baseline) with no observable state either way.
+type ioctlSpec struct {
+	dev string
+	cmd uint32
+}
+
+var ioctlSpecs = []ioctlSpec{
+	{"/dev/dm-0", kernel.DMGETINFO},
+	{userspace.VideoDevice, kernel.VIDIOCSMODE},
+}
+
+// utilityArgvs is the whole-utility pool. Fuzz actors never hold real
+// passwords (the asker always answers wrong), so every authentication
+// path is exercised only as a denial; the NOPASSWD sudo rule and the
+// plumbing utilities are the legitimate-success paths.
+var utilityArgvs = [][]string{
+	{userspace.BinID},
+	{userspace.BinLs, "/tmp"},
+	{userspace.BinSudo, userspace.BinLs, "/tmp"},
+	{userspace.BinSudo, userspace.BinID},
+	{userspace.BinMount, "/dev/cdrom", "/cdrom"},
+	{userspace.BinMount, "/dev/sdb1", "/media/usb"},
+	{userspace.BinMount, "/dev/sdc1", "/mnt/backup"},
+	{userspace.BinUmount, "/cdrom"},
+	{userspace.BinUmount, "/media/usb"},
+	{userspace.BinPing, "-c", "1", "10.0.0.2"},
+	{userspace.BinPasswd},
+	{userspace.BinPppd, "ppp0"},
+	{userspace.BinFping, "10.0.0.2"},
+}
+
+func pick[T any](pool []T, sel uint8) T { return pool[int(sel)%len(pool)] }
+
+// describeStep resolves a step's selectors against the pools for the
+// human-readable trace rendering.
+func describeStep(s Step) string {
+	switch s.Op {
+	case OpRead, OpWrite, OpUnlink:
+		return pick(filePaths, s.A)
+	case OpChmod:
+		return fmt.Sprintf("%s mode=%o", pick(filePaths, s.A), pick(fileModes, s.B))
+	case OpChown:
+		return fmt.Sprintf("%s uid=%d", pick(filePaths, s.A), pick(poolUIDs, s.B))
+	case OpSetuid, OpSeteuid:
+		return fmt.Sprintf("uid=%d", pick(poolUIDs, s.A))
+	case OpMkdir:
+		return pick(dirPaths, s.A)
+	case OpMount:
+		m := pick(mountSpecs, s.A)
+		return fmt.Sprintf("%s %s %s %v", m.device, m.point, m.fstype, m.options)
+	case OpUmount:
+		return pick(umountPoints, s.A)
+	case OpSocket:
+		k := pick(socketKinds, s.B)
+		return fmt.Sprintf("slot=%d family=%d type=%d proto=%d", int(s.A)%socketSlots, k.family, k.typ, k.proto)
+	case OpBind:
+		return fmt.Sprintf("slot=%d port=%d", int(s.A)%socketSlots, pick(bindPorts, s.B))
+	case OpSendTo:
+		p := pick(packetSpecs, s.B)
+		return fmt.Sprintf("slot=%d proto=%d dst=%v port=%d", int(s.A)%socketSlots, p.proto, pick(packetDsts, s.C), p.dstPort)
+	case OpCloseSock:
+		return fmt.Sprintf("slot=%d", int(s.A)%socketSlots)
+	case OpIoctl:
+		i := pick(ioctlSpecs, s.A)
+		return fmt.Sprintf("%s cmd=0x%x", i.dev, i.cmd)
+	case OpUtility:
+		return fmt.Sprintf("%v", pick(utilityArgvs, s.A))
+	default:
+		return ""
+	}
+}

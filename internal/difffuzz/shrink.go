@@ -1,0 +1,43 @@
+package difffuzz
+
+// Shrink reduces a failing trace to a minimal reproducer using
+// delta-debugging-style chunk removal: repeatedly try dropping spans
+// (halves, then quarters, down to single steps), keeping any reduction
+// that still fails under the same Config. Because every machine pair is
+// built fresh inside Run, the predicate is deterministic and the result
+// replays exactly.
+func Shrink(tr Trace, cfg Config) Trace {
+	fails := func(t Trace) bool {
+		if len(t) == 0 {
+			return false
+		}
+		res, err := Run(t, cfg)
+		return err == nil && res.Failed()
+	}
+	if !fails(tr) {
+		return tr
+	}
+	cur := append(Trace(nil), tr...)
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		reduced := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(Trace(nil), cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				reduced = true
+				continue // retry the same start against the shorter trace
+			}
+			start += chunk
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !reduced {
+			return cur
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package difffuzz implements differential syscall fuzzing between the
+// baseline and Protego machine images (§5.3 made adversarial): the same
+// randomized trace of syscalls and utility invocations is executed step by
+// step on both images, the canonical state fingerprint
+// (world.Machine.Fingerprint) is compared after every step, and standing
+// security invariants are checked on the Protego image regardless of
+// whether the traces diverge. Mismatches are shrunk to a minimal trace and
+// emitted as a replayable Go literal.
+package difffuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one operation kind of the trace grammar.
+type Op uint8
+
+// The grammar covers the syscall surface the paper's policies guard
+// (mount, setuid family, raw sockets, privileged ports, device ioctls),
+// the plain-DAC surface where the images must be boring and identical
+// (open/read/write/chmod/chown), and whole-utility invocations through
+// internal/userspace.
+const (
+	OpForkExit  Op = iota // fork a child of the actor's session and exit it
+	OpRead                // read a pool file
+	OpWrite               // write a pool file
+	OpChmod               // chmod a pool file
+	OpChown               // chown a pool file
+	OpSetuid              // setuid(2) to a pool uid
+	OpSeteuid             // seteuid(2) to a pool uid
+	OpMkdir               // mkdir under a pool directory
+	OpUnlink              // unlink a pool file
+	OpMount               // mount(2) a pool (device, point, fstype, options) combo
+	OpUmount              // umount(2) a pool mount point
+	OpSocket              // socket(2) into a socket slot
+	OpBind                // bind(2) a socket slot to a pool port
+	OpSendTo              // sendto(2) a pool packet through a socket slot
+	OpCloseSock           // close a socket slot
+	OpIoctl               // a pool device ioctl
+	OpUtility             // spawn a pool utility invocation
+	opCount
+)
+
+var opNames = [opCount]string{
+	"OpForkExit", "OpRead", "OpWrite", "OpChmod", "OpChown",
+	"OpSetuid", "OpSeteuid", "OpMkdir", "OpUnlink", "OpMount",
+	"OpUmount", "OpSocket", "OpBind", "OpSendTo", "OpCloseSock",
+	"OpIoctl", "OpUtility",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Step is one trace operation. Actor selects the acting user session and
+// A/B/C are op-specific selectors, each reduced modulo its pool size at
+// execution time, so every byte sequence decodes to a runnable step (the
+// property native fuzzing needs) and shrinking a field never produces an
+// invalid trace.
+type Step struct {
+	Op      Op
+	Actor   uint8
+	A, B, C uint8
+}
+
+// Trace is a runnable operation sequence.
+type Trace []Step
+
+// maxTraceLen bounds decoded traces: long enough for interesting
+// collisions, short enough that fuzzing throughput stays useful.
+const maxTraceLen = 24
+
+// Encode serializes the trace into the 5-bytes-per-step form consumed by
+// DecodeTrace; it is how seed corpus entries are produced.
+func (tr Trace) Encode() []byte {
+	out := make([]byte, 0, len(tr)*5)
+	for _, s := range tr {
+		out = append(out, byte(s.Op), s.Actor, s.A, s.B, s.C)
+	}
+	return out
+}
+
+// DecodeTrace interprets arbitrary bytes as a trace: 5 bytes per step,
+// opcode reduced modulo the op count, trailing partial steps dropped,
+// length capped at maxTraceLen. It is total — every input decodes — so
+// `go test -fuzz` explores the grammar directly.
+func DecodeTrace(data []byte) Trace {
+	n := len(data) / 5
+	if n > maxTraceLen {
+		n = maxTraceLen
+	}
+	tr := make(Trace, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*5:]
+		tr = append(tr, Step{
+			Op:    Op(b[0] % uint8(opCount)),
+			Actor: b[1],
+			A:     b[2],
+			B:     b[3],
+			C:     b[4],
+		})
+	}
+	return tr
+}
+
+// GoLiteral renders the trace as a compilable Go composite literal, the
+// replay form embedded in failure reports: paste it into a test and pass
+// it to Run to reproduce the exact divergence.
+func (tr Trace) GoLiteral() string {
+	var b strings.Builder
+	b.WriteString("difffuzz.Trace{\n")
+	for _, s := range tr {
+		fmt.Fprintf(&b, "\t{Op: difffuzz.%s, Actor: %d, A: %d, B: %d, C: %d},\n",
+			s.Op, s.Actor, s.A, s.B, s.C)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// String renders a compact human-readable summary with the resolved pool
+// choices, one step per line.
+func (tr Trace) String() string {
+	var b strings.Builder
+	for i, s := range tr {
+		fmt.Fprintf(&b, "%2d: %s actor=%s %s\n", i, s.Op, actorName(s.Actor), describeStep(s))
+	}
+	return b.String()
+}

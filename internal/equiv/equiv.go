@@ -9,6 +9,7 @@ package equiv
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"protego/internal/kernel"
@@ -52,6 +53,10 @@ type Outcome struct {
 	Stdout string
 	Stderr string
 	Effect string
+	// State is the machine's canonical post-run fingerprint
+	// (world.Machine.Fingerprint), shared with internal/difffuzz so the
+	// two harnesses cannot drift apart in what "same effects" means.
+	State string
 }
 
 // run executes the scenario on a fresh machine of the given mode.
@@ -74,6 +79,7 @@ func (s *Scenario) run(mode kernel.Mode) (*Outcome, error) {
 	if s.Effect != nil {
 		out.Effect = s.Effect(m)
 	}
+	out.State = m.Fingerprint()
 	return out, nil
 }
 
@@ -111,7 +117,38 @@ func (s *Scenario) Compare() ([]Mismatch, error) {
 	if linux.Effect != protego.Effect {
 		out = append(out, Mismatch{s.Name, "effect", linux.Effect, protego.Effect})
 	}
+	if linux.State != protego.State {
+		out = append(out, Mismatch{s.Name, "state fingerprint",
+			fingerprintDiff(linux.State, protego.State), ""})
+	}
 	return out, nil
+}
+
+// fingerprintDiff condenses two full machine fingerprints into just their
+// differing lines (a whole fingerprint is thousands of lines; a mismatch
+// report needs only the delta).
+func fingerprintDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	inA := make(map[string]bool, len(al))
+	for _, l := range al {
+		inA[l] = true
+	}
+	inB := make(map[string]bool, len(bl))
+	for _, l := range bl {
+		inB[l] = true
+	}
+	var d strings.Builder
+	for _, l := range al {
+		if !inB[l] {
+			d.WriteString("linux-only:   " + l + "\n")
+		}
+	}
+	for _, l := range bl {
+		if !inA[l] {
+			d.WriteString("protego-only: " + l + "\n")
+		}
+	}
+	return d.String()
 }
 
 // UtilityReport is one Table 7 row.
@@ -161,7 +198,9 @@ func Utilities() []string {
 		"chromium-sandbox", "login", "eject", "fping", "tracepath"}
 }
 
-// RunAll produces the full Table 7.
+// RunAll produces the full Table 7, sorted by utility name so golden
+// output and CI diffs are stable regardless of the corpus declaration
+// order.
 func RunAll() ([]*UtilityReport, error) {
 	var reports []*UtilityReport
 	for _, u := range Utilities() {
@@ -171,6 +210,7 @@ func RunAll() ([]*UtilityReport, error) {
 		}
 		reports = append(reports, r)
 	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Utility < reports[j].Utility })
 	return reports, nil
 }
 

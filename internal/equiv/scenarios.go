@@ -268,9 +268,50 @@ var extendedScenarios = map[string][]Scenario{
 	},
 }
 
+// negativeScenarios asserts that *denials* are identical across images:
+// the escalation paths the paper closes must be closed the same way on
+// both systems (same exit status, same absence of effects), not merely
+// closed somehow.
+var negativeScenarios = map[string][]Scenario{
+	"sudo": {
+		// charlie's only sudoers rule is the %wheel NOPASSWD /bin/ls
+		// entry; delegating to another *user* is not authorized for him
+		// at all, so the -u request must fail identically everywhere.
+		{Name: "non-sudoer delegation denied", User: "charlie",
+			Argv:    []string{userspace.BinSudo, "-u", "alice", userspace.BinID},
+			Answers: map[string]string{"": world.CharliePassword}},
+	},
+	"mount": {
+		// Owning the mount point does not whitelist the device: sdc1 has
+		// no "user" fstab option, so even over alice's own home directory
+		// the mount must be refused (the Figure 1 flow keys on the
+		// (device, point, options) row, not on DAC ownership).
+		{Name: "owner cannot mount non-whitelisted device at owned point", User: "alice",
+			Argv:   []string{userspace.BinMount, "/dev/sdc1", "/home/alice"},
+			Effect: mountTableEffect},
+	},
+	"ping": {
+		// With the raw-socket relaxation removed — setuid bit stripped on
+		// the baseline, allow_unpriv_raw switched off on Protego — ping
+		// must degrade to the same denial on both systems.
+		{Name: "raw socket relaxation removed", User: "alice",
+			Setup: func(m *world.Machine) error {
+				if m.Protego != nil {
+					m.Protego.SetAllowUnprivRaw(false)
+					return nil
+				}
+				return m.K.FS.Chmod(vfs.RootCred, userspace.BinPing, 0o755)
+			},
+			Argv: []string{userspace.BinPing, "-c", "1", "10.0.0.2"}},
+	},
+}
+
 func init() {
 	for name, list := range extendedScenarios {
 		Scenarios[name] = list
+	}
+	for name, list := range negativeScenarios {
+		Scenarios[name] = append(Scenarios[name], list...)
 	}
 }
 

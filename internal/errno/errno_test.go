@@ -57,6 +57,57 @@ func TestOf(t *testing.T) {
 	}
 }
 
+func TestFromNameRoundTrip(t *testing.T) {
+	// Every named errno must survive Name → FromName unchanged, and the
+	// reverse direction must hold too — the fault-injection plan parser
+	// and the difffuzz reproducer printer both rely on this bijection.
+	for e, n := range names {
+		got, ok := FromName(n)
+		if !ok {
+			t.Fatalf("FromName(%q) unknown", n)
+		}
+		if got != e {
+			t.Fatalf("FromName(%q) = %d, want %d", n, got, e)
+		}
+		if got.Name() != n {
+			t.Fatalf("Name round-trip for %q gave %q", n, got.Name())
+		}
+	}
+}
+
+func TestFromNameUnknown(t *testing.T) {
+	for _, n := range []string{"", "ENOSUCH", "eperm", "EPERM ", "errno(9999)"} {
+		if e, ok := FromName(n); ok {
+			t.Fatalf("FromName(%q) unexpectedly resolved to %v", n, e)
+		} else if e != 0 {
+			t.Fatalf("FromName(%q) returned non-zero errno %d with ok=false", n, e)
+		}
+	}
+}
+
+func TestOfUnwrapsWrappedErrno(t *testing.T) {
+	wrapped := fmt.Errorf("mount: %w", EBUSY)
+	if Of(wrapped) != EBUSY {
+		t.Fatalf("Of should see through %%w wrapping, got %v", Of(wrapped))
+	}
+	double := fmt.Errorf("outer: %w", wrapped)
+	if Of(double) != EBUSY {
+		t.Fatalf("Of should unwrap repeatedly, got %v", Of(double))
+	}
+}
+
+func TestIsHelper(t *testing.T) {
+	if !Is(fmt.Errorf("x: %w", EACCES), EACCES) {
+		t.Fatal("Is failed through wrapping")
+	}
+	if Is(nil, EACCES) {
+		t.Fatal("Is(nil) matched")
+	}
+	if Is(EPERM, EACCES) {
+		t.Fatal("Is matched a different errno")
+	}
+}
+
 func TestDistinctNames(t *testing.T) {
 	seen := map[string]Errno{}
 	for e := range names {

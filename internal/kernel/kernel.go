@@ -409,6 +409,12 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 	if env == nil {
 		env = copyEnv(t.Env())
 	}
+	if len(argv) == 0 {
+		// Like the Linux ELF loader, guarantee argv[0]: utilities index
+		// t.Argv() unconditionally and an empty vector is a caller bug,
+		// not something every program should have to defend against.
+		argv = []string{clean}
+	}
 	req := &lsm.ExecRequest{
 		Path:      clean,
 		Argv:      argv,

@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"protego/internal/vfs"
+)
+
+// registerProbe installs a binary that records what the program actually
+// observes at entry: its argv and selected environment variables.
+func registerProbe(t *testing.T, k *Kernel, path string) {
+	t.Helper()
+	if err := k.FS.WriteFile(vfs.RootCred, path, []byte("#!probe"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterBinary(path, func(_ *Kernel, task *Task) int {
+		task.Printf("argv=%q env.HOME=%q env.MARK=%q",
+			task.Argv(), task.Getenv("HOME"), task.Getenv("MARK"))
+		return 0
+	})
+}
+
+func TestSpawnEmptyArgvDefaultsToPath(t *testing.T) {
+	k := testKernel(t)
+	registerProbe(t, k, "/bin/probe")
+	u := userTask(k, 1000, 100)
+
+	for _, argv := range [][]string{nil, {}} {
+		res, err := k.Spawn(u, "/bin/probe", argv, nil, SpawnOpts{Capture: true})
+		if err != nil {
+			t.Fatalf("argv=%v: %v", argv, err)
+		}
+		if res.Code != 0 {
+			t.Fatalf("argv=%v: exit %d, stderr %q", argv, res.Code, res.Stderr)
+		}
+		if !strings.Contains(res.Stdout, `argv=["/bin/probe"]`) {
+			t.Fatalf("argv=%v: argv[0] not defaulted to binary path: %q", argv, res.Stdout)
+		}
+	}
+}
+
+func TestSpawnRelativePathArgvZeroIsCleaned(t *testing.T) {
+	k := testKernel(t)
+	registerProbe(t, k, "/bin/probe")
+	u := userTask(k, 1000, 100)
+	if err := k.Chdir(u, "/bin"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.Spawn(u, "probe", nil, nil, SpawnOpts{Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stdout, `argv=["/bin/probe"]`) {
+		t.Fatalf("defaulted argv[0] should be the cleaned absolute path: %q", res.Stdout)
+	}
+}
+
+func TestSpawnNilEnvInheritsParent(t *testing.T) {
+	k := testKernel(t)
+	registerProbe(t, k, "/bin/probe")
+	u := userTask(k, 1000, 100)
+	u.Setenv("HOME", "/home/u")
+	u.Setenv("MARK", "inherited")
+
+	res, err := k.Spawn(u, "/bin/probe", []string{"probe"}, nil, SpawnOpts{Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stdout, `env.HOME="/home/u"`) || !strings.Contains(res.Stdout, `env.MARK="inherited"`) {
+		t.Fatalf("nil env must inherit the parent environment: %q", res.Stdout)
+	}
+}
+
+func TestSpawnExplicitEnvReplacesParent(t *testing.T) {
+	k := testKernel(t)
+	registerProbe(t, k, "/bin/probe")
+	u := userTask(k, 1000, 100)
+	u.Setenv("HOME", "/home/u")
+	u.Setenv("MARK", "inherited")
+
+	res, err := k.Spawn(u, "/bin/probe", []string{"probe"},
+		map[string]string{"MARK": "explicit"}, SpawnOpts{Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Stdout, `env.MARK="explicit"`) {
+		t.Fatalf("explicit env value lost: %q", res.Stdout)
+	}
+	if !strings.Contains(res.Stdout, `env.HOME=""`) {
+		t.Fatalf("explicit env must fully replace, not merge with, the parent's: %q", res.Stdout)
+	}
+}
+
+func TestSpawnEnvInheritanceIsCopy(t *testing.T) {
+	k := testKernel(t)
+	if err := k.FS.WriteFile(vfs.RootCred, "/bin/mutate", []byte("#!m"), 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	k.RegisterBinary("/bin/mutate", func(_ *Kernel, task *Task) int {
+		env := task.Env()
+		env["MARK"] = "mutated-by-child"
+		return 0
+	})
+	u := userTask(k, 1000, 100)
+	u.Setenv("MARK", "parent")
+
+	if _, err := k.Spawn(u, "/bin/mutate", nil, nil, SpawnOpts{Capture: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Getenv("MARK"); got != "parent" {
+		t.Fatalf("child env mutation leaked into parent: MARK=%q", got)
+	}
+}
+
+func TestSpawnCaptureIsolatesParentBuffers(t *testing.T) {
+	k := testKernel(t)
+	registerProbe(t, k, "/bin/probe")
+	u := userTask(k, 1000, 100)
+	var parentOut strings.Builder
+	u.Stdout = &parentOut
+
+	res, err := k.Spawn(u, "/bin/probe", nil, nil, SpawnOpts{Capture: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout == "" {
+		t.Fatal("captured stdout empty")
+	}
+	if parentOut.Len() != 0 {
+		t.Fatalf("capture mode leaked output to the parent terminal: %q", parentOut.String())
+	}
+}

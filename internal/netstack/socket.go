@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"sort"
 	"time"
 
 	"protego/internal/errno"
@@ -98,6 +99,32 @@ func (s *Stack) PortOwner(proto, port int) *Socket {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ports[portKey{proto: proto, port: port}]
+}
+
+// BoundPort is one row of the stack's port-binding table.
+type BoundPort struct {
+	Proto    int
+	Port     int
+	OwnerUID int
+}
+
+// BoundPorts returns a snapshot of every (proto, port) reservation with the
+// owning socket's uid, sorted by proto then port — the canonical form the
+// state-fingerprint serializers compare across machine images.
+func (s *Stack) BoundPorts() []BoundPort {
+	s.mu.RLock()
+	out := make([]BoundPort, 0, len(s.ports))
+	for key, sock := range s.ports {
+		out = append(out, BoundPort{Proto: key.proto, Port: key.port, OwnerUID: sock.OwnerUID})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proto != out[j].Proto {
+			return out[i].Proto < out[j].Proto
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
 }
 
 // Listen marks a stream socket as accepting connections.

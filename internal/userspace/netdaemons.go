@@ -89,16 +89,25 @@ func PppdMain(k *kernel.Kernel, t *kernel.Task) int {
 		t.Errorf("pppd: attach %s: %v\n", iface, err)
 		return 1
 	}
+	// Once attached, a failed parameter or route request must tear the
+	// session back down; otherwise a refusal on Protego (where the checks
+	// happen at the ioctl, after attach) would strand the modem in-use
+	// while the baseline (which pre-checks before any euid-0 action)
+	// leaves it free.
+	fail := func() int {
+		_ = k.Ioctl(t, PppDevice, kernel.PPPIOCDETACH, iface)
+		return 1
+	}
 	for _, p := range params {
 		if err := k.Ioctl(t, PppDevice, kernel.PPPIOCSPARAM, p); err != nil {
 			t.Errorf("pppd: set %s: %v\n", p[0], err)
-			return 1
+			return fail()
 		}
 	}
 	for _, r := range routes {
 		if err := k.AddRoute(t, r); err != nil {
 			t.Errorf("pppd: route %s: %v\n", r, err)
-			return 1
+			return fail()
 		}
 	}
 	t.Printf("pppd: %s up\n", iface)

@@ -1,0 +1,203 @@
+package world
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"protego/internal/accountdb"
+	"protego/internal/vfs"
+)
+
+// Fingerprint serializes the machine's observable state into one canonical
+// string, designed so a freshly built baseline image and a freshly built
+// Protego image produce the *same* fingerprint, and stay equal as long as
+// identical workloads have identical effects. It is the single state
+// serializer shared by the equivalence corpus (internal/equiv) and the
+// differential fuzzer (internal/difffuzz).
+//
+// Sections, in order: live-task credentials (a sorted multiset — pids are
+// excluded because the two images may fork different child counts inside a
+// utility), the VFS tree (type, permissions, ownership, device numbers,
+// symlink targets, and a content hash for regular files), the account
+// databases (parsed and sorted, rather than raw bytes, because the Protego
+// fragment sync rewrites the legacy files in a different record order), the
+// mount table, the port-binding table, the routing table, and interface
+// state.
+//
+// Normalizations (all are by-design differences between the two *images*,
+// not behavioral divergences):
+//
+//   - /proc is skipped: /proc/protego exists only on Protego and the trace
+//     files are dynamic.
+//   - /etc/passwds, /etc/shadows, /etc/groups are skipped (the fragmented
+//     database exists only on Protego); on Protego the fragments are first
+//     converged into the legacy view via the monitoring daemon, and the
+//     legacy files are compared as parsed records.
+//   - /var/run/sudo is skipped: the baseline sudo keeps authentication
+//     recency in timestamp files, Protego keeps it in the kernel task
+//     struct (§4.3), so the bookkeeping location differs by design.
+//   - The setuid/setgid bits of the studied binaries are masked — their
+//     eradication IS the system under test (Table 1).
+//   - /dev/ppp permission bits are masked (0600 baseline vs 0666 Protego,
+//     the §4.1.2 relaxation).
+func (m *Machine) Fingerprint() string {
+	// Converge the Protego-only fragment tree into the legacy account files
+	// first, mirroring what the monitoring daemon does continuously.
+	if m.Monitor != nil {
+		_ = m.Monitor.SyncAccountsFromFragments()
+	}
+
+	var b strings.Builder
+
+	b.WriteString("[tasks]\n")
+	var taskLines []string
+	for _, t := range m.K.Tasks() {
+		c := t.Creds()
+		groups := append([]int(nil), c.Groups...)
+		sort.Ints(groups)
+		taskLines = append(taskLines, fmt.Sprintf(
+			"uid=%d/%d/%d/%d gid=%d/%d/%d/%d groups=%v caps=%d/%d",
+			c.RUID, c.EUID, c.SUID, c.FUID,
+			c.RGID, c.EGID, c.SGID, c.FGID,
+			groups, uint64(c.Effective), uint64(c.Permitted)))
+	}
+	sort.Strings(taskLines)
+	for _, l := range taskLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("[vfs]\n")
+	m.K.FS.Walk(func(path string, ino *vfs.Inode) bool {
+		if fingerprintSkip[path] {
+			return false
+		}
+		mode := ino.Mode
+		switch {
+		case setuidBinaries[path]:
+			mode &^= vfs.ModeSetuid | vfs.ModeSetgid
+		case path == "/dev/ppp":
+			mode &^= vfs.ModeMask
+		}
+		fmt.Fprintf(&b, "%s %o %d:%d", path, uint32(mode), ino.UID, ino.GID)
+		switch {
+		case ino.IsProc():
+			// Synthetic files have dynamic contents; identity only.
+		case mode.IsDevice():
+			fmt.Fprintf(&b, " dev=%d,%d", ino.Major, ino.Minor)
+		case mode.IsSymlink():
+			fmt.Fprintf(&b, " -> %s", string(ino.Data))
+		case mode.IsRegular() && !fingerprintSemanticContent[path]:
+			h := fnv.New64a()
+			h.Write(ino.Data)
+			fmt.Fprintf(&b, " len=%d hash=%x", len(ino.Data), h.Sum64())
+		}
+		b.WriteByte('\n')
+		return true
+	})
+
+	b.WriteString("[accounts]\n")
+	writeAccounts(&b, m)
+
+	b.WriteString("[mounts]\n")
+	b.WriteString(m.K.FS.FormatMtab())
+
+	b.WriteString("[ports]\n")
+	for _, p := range m.K.Net.BoundPorts() {
+		fmt.Fprintf(&b, "%d/%d uid=%d\n", p.Proto, p.Port, p.OwnerUID)
+	}
+
+	b.WriteString("[routes]\n")
+	var routeLines []string
+	for _, r := range m.K.Net.Routes() {
+		routeLines = append(routeLines, r.String())
+	}
+	sort.Strings(routeLines)
+	for _, l := range routeLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("[ifaces]\n")
+	var ifaceLines []string
+	for _, iface := range m.K.Net.Ifaces() {
+		var params []string
+		for k, v := range iface.Params {
+			params = append(params, k+"="+v)
+		}
+		sort.Strings(params)
+		ifaceLines = append(ifaceLines, fmt.Sprintf("%s up=%v inuse=%v owner=%d params=%v",
+			iface.Name, iface.Up, iface.InUse, iface.Owner, params))
+	}
+	sort.Strings(ifaceLines)
+	for _, l := range ifaceLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+
+	return b.String()
+}
+
+// fingerprintSkip prunes subtrees that exist on only one image or that hold
+// by-design bookkeeping differences (see Fingerprint).
+var fingerprintSkip = map[string]bool{
+	"/proc":              true,
+	"/var/run/sudo":      true,
+	accountdb.PasswdsDir: true,
+	accountdb.ShadowsDir: true,
+	accountdb.GroupsDir:  true,
+}
+
+// fingerprintSemanticContent marks files whose contents are compared as
+// parsed, sorted records in the [accounts] section instead of raw bytes
+// (the fragment sync rewrites them in a different record order).
+var fingerprintSemanticContent = map[string]bool{
+	accountdb.PasswdFile: true,
+	accountdb.ShadowFile: true,
+	accountdb.GroupFile:  true,
+}
+
+// writeAccounts serializes the parsed account databases in sorted order.
+// Read errors are folded into the fingerprint itself: a missing or corrupt
+// database is observable state, and must diverge rather than be skipped.
+func writeAccounts(b *strings.Builder, m *Machine) {
+	users, err := m.DB.Users()
+	if err != nil {
+		fmt.Fprintf(b, "users-error: %v\n", err)
+	} else {
+		lines := make([]string, 0, len(users))
+		for i := range users {
+			u := &users[i]
+			hash, herr := m.DB.ShadowHash(u.Name)
+			if herr != nil {
+				hash = fmt.Sprintf("shadow-error:%v", herr)
+			}
+			lines = append(lines, fmt.Sprintf("user %s:%d:%d:%s:%s:%s shadow=%s",
+				u.Name, u.UID, u.GID, u.Gecos, u.Home, u.Shell, hash))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	groups, err := m.DB.Groups()
+	if err != nil {
+		fmt.Fprintf(b, "groups-error: %v\n", err)
+		return
+	}
+	lines := make([]string, 0, len(groups))
+	for i := range groups {
+		g := &groups[i]
+		members := append([]string(nil), g.Members...)
+		sort.Strings(members)
+		lines = append(lines, fmt.Sprintf("group %s:%d:%s:%v", g.Name, g.GID, g.Password, members))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,66 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"protego/internal/vfs"
+)
+
+// Fresh images must fingerprint identically: every by-design difference
+// between the baseline and Protego builds (fragment tree, /proc/protego,
+// setuid bits, /dev/ppp perms) has a normalization rule, and this test is
+// the canary for a new build-time asymmetry leaking into the serializer.
+func TestFingerprintFreshImagesEqual(t *testing.T) {
+	lin, err := BuildLinux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro, err := BuildProtego()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := lin.Fingerprint(), pro.Fingerprint()
+	if a == b {
+		return
+	}
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	shown := 0
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			t.Errorf("line %d:\n  linux:   %q\n  protego: %q", i, x, y)
+			if shown++; shown > 15 {
+				break
+			}
+		}
+	}
+	t.Fatal("fresh-image fingerprints differ")
+}
+
+// The fingerprint must be stable across repeated serialization of the same
+// machine (map iteration anywhere in the pipeline would break shrinking and
+// replay) and must actually change when observable state changes.
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	m, err := BuildProtego()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := m.Fingerprint()
+	f2 := m.Fingerprint()
+	if f1 != f2 {
+		t.Fatal("fingerprint not deterministic across calls")
+	}
+	if err := m.K.FS.WriteFile(vfs.RootCred, "/home/alice/fpnote", []byte("x"), 0o644, UIDAlice, GIDUsers); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() == f1 {
+		t.Fatal("fingerprint unchanged after VFS write")
+	}
+}

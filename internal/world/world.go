@@ -368,6 +368,7 @@ func (m *Machine) registerDeviceHandlers() {
 			}
 			iface.InUse = false
 			iface.Up = false
+			iface.Owner = 0
 			return nil
 		case kernel.PPPIOCSPARAM:
 			kv, ok := arg.([2]string)
