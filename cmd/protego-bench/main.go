@@ -51,6 +51,8 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 42, "seed for the fault-injection sweep (fixes torn-read offsets)")
 	diffFuzz := flag.Int("difffuzz", 0, "run N differential-fuzzing traces (baseline vs Protego) instead of the tables")
 	diffFuzzSeed := flag.Int64("difffuzzseed", 1, "seed for the differential-fuzzing trace generator")
+	fleetN := flag.Int("fleet", 0, "stamp N tenant machines from one golden snapshot and bench clone rate + fleet throughput")
+	fleetOps := flag.Int("fleetops", 30, "workload syscalls per tenant for -fleet")
 	flag.Parse()
 
 	if *mutexProfile != "" || *blockProfile != "" {
@@ -120,6 +122,33 @@ func main() {
 		if !rep.Clean() {
 			fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: %d unexplained divergences, %d invariant violations\n",
 				rep.UnexplainedDivergences, rep.InvariantViolations)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *fleetN > 0 {
+		rep, err := bench.RunFleet(*fleetN, *fleetOps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatFleet(rep))
+		if *jsonPath != "" {
+			full, err := bench.ReadReport(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: fleet: read %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			full.Fleet = rep
+			if err := bench.WriteReport(*jsonPath, full); err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: fleet: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("updated %s\n", *jsonPath)
+		}
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "protego-bench: fleet: %d isolation problems\n", rep.IsolationProblems)
 			os.Exit(1)
 		}
 		return

@@ -128,3 +128,17 @@ func (m *Module) MountCheck(t lsm.Task, req *lsm.MountRequest) (lsm.Decision, er
 }
 
 var _ lsm.Module = (*Module)(nil)
+
+// Clone returns an independent module with the same profiles loaded and a
+// fresh denial counter. Profiles are immutable once loaded, so the
+// pointers are shared; the map is copied so LoadProfile/RemoveProfile on
+// either side stays private. Used by machine snapshots.
+func (m *Module) Clone() *Module {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := New()
+	for path, p := range m.profiles {
+		c.profiles[path] = p
+	}
+	return c
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"protego/internal/fleet"
+	"protego/internal/kernel"
+	"protego/internal/world"
+)
+
+// FleetReport summarizes the snapshot/fleet benchmark: how fast tenant
+// machines can be stamped from a frozen golden image versus booted from
+// scratch, and the aggregate syscall throughput of the whole fleet
+// running concurrent per-tenant workloads.
+type FleetReport struct {
+	Tenants          int     `json:"tenants"`
+	FreshBootsPerSec float64 `json:"fresh_boots_per_sec"`
+	ClonesPerSec     float64 `json:"clones_per_sec"`
+	// CloneSpeedup is clones/s over fresh boots/s; the CI gate requires
+	// at least 10x.
+	CloneSpeedup         float64 `json:"clone_speedup"`
+	WorkloadOpsPerTenant int     `json:"workload_ops_per_tenant"`
+	FleetSeconds         float64 `json:"fleet_seconds"`
+	FleetOpsPerSec       float64 `json:"fleet_ops_per_sec"`
+	TraceEventsEmitted   uint64  `json:"trace_events_emitted"`
+	IsolationProblems    int     `json:"isolation_problems"`
+}
+
+// RunFleet measures fresh-boot rate (on a small sample), clone rate for
+// `tenants` machines, then runs `ops` mixed syscalls per tenant across
+// the whole fleet concurrently and audits isolation.
+func RunFleet(tenants, ops int) (*FleetReport, error) {
+	rep := &FleetReport{Tenants: tenants, WorkloadOpsPerTenant: ops}
+
+	// Fresh-boot baseline: world.Build end to end, which is what every
+	// tenant used to cost.
+	const freshN = 5
+	start := time.Now()
+	for i := 0; i < freshN; i++ {
+		if _, err := world.Build(world.Options{Mode: kernel.ModeProtego}); err != nil {
+			return nil, fmt.Errorf("fresh boot %d: %w", i, err)
+		}
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		rep.FreshBootsPerSec = float64(freshN) / secs
+	}
+
+	f, err := fleet.NewManager(kernel.ModeProtego)
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	if err := f.Stamp(tenants); err != nil {
+		return nil, err
+	}
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		rep.ClonesPerSec = float64(tenants) / secs
+	}
+	if rep.FreshBootsPerSec > 0 {
+		rep.CloneSpeedup = rep.ClonesPerSec / rep.FreshBootsPerSec
+	}
+
+	start = time.Now()
+	if err := f.RunWorkloads(ops); err != nil {
+		return nil, err
+	}
+	rep.FleetSeconds = time.Since(start).Seconds()
+	if rep.FleetSeconds > 0 {
+		rep.FleetOpsPerSec = float64(tenants*ops) / rep.FleetSeconds
+	}
+	agg := f.AggregateCounters()
+	rep.TraceEventsEmitted = agg.Emitted
+	rep.IsolationProblems = len(f.CheckIsolation())
+	return rep, nil
+}
+
+// Clean reports whether the fleet run kept every tenant isolated.
+func (r *FleetReport) Clean() bool { return r.IsolationProblems == 0 }
+
+// FormatFleet renders the report for the protego-bench -fleet mode.
+func FormatFleet(r *FleetReport) string {
+	var b strings.Builder
+	b.WriteString("Fleet: COW machine snapshots, multi-tenant control plane\n")
+	fmt.Fprintf(&b, "  tenants=%d stamped at %.1f machines/s (fresh boot: %.1f/s, speedup %.1fx)\n",
+		r.Tenants, r.ClonesPerSec, r.FreshBootsPerSec, r.CloneSpeedup)
+	fmt.Fprintf(&b, "  workload: %d ops/tenant in %.2fs (%.0f fleet ops/s, %d trace events)\n",
+		r.WorkloadOpsPerTenant, r.FleetSeconds, r.FleetOpsPerSec, r.TraceEventsEmitted)
+	fmt.Fprintf(&b, "  isolation problems: %d\n", r.IsolationProblems)
+	return b.String()
+}

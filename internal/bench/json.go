@@ -35,6 +35,9 @@ type Report struct {
 	// `protego-bench -difffuzz N -json <path>`; absent until that mode
 	// has been run against the report file.
 	DiffFuzz *DiffFuzzReport `json:"difffuzz,omitempty"`
+	// Fleet holds the snapshot-clone and multi-tenant throughput run
+	// recorded by `protego-bench -fleet -json <path>`.
+	Fleet *FleetReport `json:"fleet,omitempty"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit

@@ -1,0 +1,33 @@
+package difffuzz
+
+import (
+	"sync"
+
+	"protego/internal/kernel"
+	"protego/internal/world"
+)
+
+// Golden images: one booted machine per mode, frozen on first use. Every
+// trace stamps a copy-on-write clone from the snapshot instead of paying
+// a full world.Build, which is where the fuzzer used to spend most of
+// its wall clock. Clones are fully independent (task table, netstack,
+// policy, tracer), so traces never observe each other.
+var (
+	goldenMu sync.Mutex
+	goldens  = map[kernel.Mode]*world.Snapshot{}
+)
+
+func goldenSnapshot(mode kernel.Mode) (*world.Snapshot, error) {
+	goldenMu.Lock()
+	defer goldenMu.Unlock()
+	if s, ok := goldens[mode]; ok {
+		return s, nil
+	}
+	m, err := world.Build(world.Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	s := m.Snapshot()
+	goldens[mode] = s
+	return s, nil
+}

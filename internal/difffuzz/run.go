@@ -21,6 +21,11 @@ type Config struct {
 	// unprivileged mount on the Protego image. Runs with this set MUST
 	// fail; it proves the harness detects a broken policy.
 	BreakMountPolicy bool
+	// FreshBoot builds each machine with world.Build instead of cloning
+	// the cached golden snapshot — the pre-snapshot behavior, kept so the
+	// bench can measure the speedup and so a suspected snapshot bug can
+	// be ruled out by rerunning a reproducer against fresh boots.
+	FreshBoot bool
 }
 
 // Divergence is an unexplained behavioral difference between the images.
@@ -79,7 +84,16 @@ type machineCtx struct {
 }
 
 func newMachineCtx(mode kernel.Mode, cfg Config) (*machineCtx, error) {
-	m, err := world.Build(world.Options{Mode: mode})
+	var m *world.Machine
+	var err error
+	if cfg.FreshBoot {
+		m, err = world.Build(world.Options{Mode: mode})
+	} else {
+		var snap *world.Snapshot
+		if snap, err = goldenSnapshot(mode); err == nil {
+			m, err = snap.Clone()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"protego/internal/vfs"
+)
+
+// Counters is the fleet-wide aggregation of per-tenant trace state: one
+// tenant's tracer sees only its own machine (clones start with a fresh
+// ring), so the sums here are exactly the per-tenant counters added up.
+type Counters struct {
+	Tenants  int
+	Emitted  uint64
+	Dropped  uint64
+	ByKind   map[string]uint64
+	ByTenant map[int]uint64 // tenant ID -> events emitted there
+}
+
+// AggregateCounters collects every tenant's trace stats and sums them.
+func (f *Manager) AggregateCounters() Counters {
+	agg := Counters{ByKind: map[string]uint64{}, ByTenant: map[int]uint64{}}
+	for _, tn := range f.Tenants() {
+		s := tn.Machine.K.Trace.Stats()
+		agg.Tenants++
+		agg.Emitted += s.Emitted
+		agg.Dropped += s.Dropped
+		agg.ByTenant[tn.ID] = s.Emitted
+		for kind, n := range s.ByKind {
+			agg.ByKind[kind] += n
+		}
+	}
+	return agg
+}
+
+// String renders the aggregate with the busiest kinds first.
+func (c Counters) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet trace: tenants=%d emitted=%d dropped=%d\n", c.Tenants, c.Emitted, c.Dropped)
+	kinds := make([]string, 0, len(c.ByKind))
+	for k, n := range c.ByKind {
+		if n > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if c.ByKind[kinds[i]] != c.ByKind[kinds[j]] {
+			return c.ByKind[kinds[i]] > c.ByKind[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-12s %d\n", k, c.ByKind[k])
+	}
+	return b.String()
+}
+
+// PushMountPolicy distributes one fstab whitelist row to every tenant
+// and has each tenant's monitord reload the in-kernel policy — the
+// fleet-operator analog of the paper's config-file-to-kernel sync, done
+// once per machine instead of once per config editor. The golden image
+// is left untouched: a later Stamp still yields pre-push tenants.
+func (f *Manager) PushMountPolicy(fstabLine string) error {
+	tenants := f.Tenants()
+	errs := make([]error, len(tenants))
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, tn *Tenant) {
+			defer wg.Done()
+			errs[i] = tn.applyMountPolicy(fstabLine)
+		}(i, tn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tn *Tenant) applyMountPolicy(fstabLine string) error {
+	fs := tn.Machine.K.FS
+	cur, err := fs.ReadFile(vfs.RootCred, "/etc/fstab")
+	if err != nil {
+		return fmt.Errorf("fleet: tenant %d read fstab: %w", tn.ID, err)
+	}
+	updated := strings.TrimRight(string(cur), "\n") + "\n" + strings.TrimSpace(fstabLine) + "\n"
+	if err := fs.WriteFile(vfs.RootCred, "/etc/fstab", []byte(updated), 0o644, 0, 0); err != nil {
+		return fmt.Errorf("fleet: tenant %d write fstab: %w", tn.ID, err)
+	}
+	if tn.Machine.Monitor == nil {
+		return nil // baseline image: no in-kernel policy to reload
+	}
+	if err := tn.Machine.Monitor.SyncMounts(); err != nil {
+		return fmt.Errorf("fleet: tenant %d sync mounts: %w", tn.ID, err)
+	}
+	return nil
+}
+
+// CheckIsolation audits the fleet for cross-tenant leakage: every tenant
+// must see its own marker file and nobody else's, no tenant may hold
+// another tenant's tasks, and the golden image's fingerprint must still
+// be what it was at snapshot time regardless of everything the tenants
+// did. Returns the problems found, empty when the fleet is clean.
+func (f *Manager) CheckIsolation() []string {
+	tenants := f.Tenants()
+	var problems []string
+	for _, tn := range tenants {
+		fs := tn.Machine.K.FS
+		if !fs.Exists(vfs.RootCred, markerPath(tn.ID)) {
+			problems = append(problems,
+				fmt.Sprintf("tenant %d lost its own marker %s", tn.ID, markerPath(tn.ID)))
+		}
+		for _, other := range tenants {
+			if other.ID != tn.ID && fs.Exists(vfs.RootCred, markerPath(other.ID)) {
+				problems = append(problems,
+					fmt.Sprintf("tenant %d sees tenant %d's marker", tn.ID, other.ID))
+			}
+		}
+		if got := tn.Machine.K.Task(tn.Session.PID()); got != tn.Session {
+			problems = append(problems,
+				fmt.Sprintf("tenant %d task table does not own its session pid %d", tn.ID, tn.Session.PID()))
+		}
+	}
+	if fp := f.golden.Fingerprint(); fp != f.goldenFP {
+		problems = append(problems, "golden image fingerprint drifted after tenant activity")
+	}
+	return problems
+}

@@ -1,0 +1,210 @@
+// Package fleet is a multi-tenant control plane over machine snapshots:
+// one golden image is built and frozen, then N tenant machines are
+// stamped from it copy-on-write. Each tenant runs its own workload on a
+// fully private kernel (task table, netstack, policy, tracer) while
+// sharing the unmodified parts of the golden file system; the control
+// plane fans policy pushes out to every tenant, aggregates their trace
+// counters, and audits cross-tenant isolation against the per-machine
+// canonical fingerprint.
+//
+// The paper's monitord runs one daemon per machine; the fleet manager
+// plays the fleet operator above them — a single /etc/fstab change is
+// distributed to all tenants and applied by each tenant's own monitord,
+// exactly one reload per machine.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"protego/internal/errno"
+	"protego/internal/kernel"
+	"protego/internal/netstack"
+	"protego/internal/userspace"
+	"protego/internal/world"
+)
+
+// Tenant is one stamped machine plus its long-lived user session.
+type Tenant struct {
+	ID      int
+	Machine *world.Machine
+	Session *kernel.Task // alice login, created post-clone
+}
+
+// Manager owns the golden image and the tenants stamped from it.
+type Manager struct {
+	mode     kernel.Mode
+	golden   *world.Machine
+	snap     *world.Snapshot
+	goldenFP string // fingerprint at snapshot time, the isolation oracle
+
+	mu      sync.Mutex
+	tenants []*Tenant
+}
+
+// NewManager boots one golden machine of the given mode and freezes it.
+func NewManager(mode kernel.Mode) (*Manager, error) {
+	m, err := world.Build(world.Options{Mode: mode})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: build golden: %w", err)
+	}
+	snap := m.Snapshot()
+	return &Manager{mode: mode, golden: m, snap: snap, goldenFP: m.Fingerprint()}, nil
+}
+
+// Golden returns the golden machine backing the fleet.
+func (f *Manager) Golden() *world.Machine { return f.golden }
+
+// Tenants returns the stamped tenants, in ID order.
+func (f *Manager) Tenants() []*Tenant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Tenant(nil), f.tenants...)
+}
+
+// Stamp clones n new tenant machines concurrently and opens a user
+// session on each. Tenant IDs continue from the current fleet size.
+func (f *Manager) Stamp(n int) error {
+	f.mu.Lock()
+	base := len(f.tenants)
+	f.mu.Unlock()
+
+	made := make([]*Tenant, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := f.snap.Clone()
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet: clone tenant %d: %w", base+i, err)
+				return
+			}
+			sess, err := m.Session("alice")
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet: tenant %d session: %w", base+i, err)
+				return
+			}
+			made[i] = &Tenant{ID: base + i, Machine: m, Session: sess}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	f.tenants = append(f.tenants, made...)
+	f.mu.Unlock()
+	return nil
+}
+
+// RunWorkloads executes ops mixed syscalls on every tenant concurrently.
+// Each tenant's stream is seeded by its ID, so runs are deterministic
+// per tenant but differ across tenants. The mix covers the subsystems a
+// clone must keep private: files, directories, user mounts (whitelisted
+// on Protego), sockets and port reservations, and a setuid-free utility
+// run. Every tenant also drops a marker file that CheckIsolation later
+// uses to prove nothing leaked across machines.
+func (f *Manager) RunWorkloads(ops int) error {
+	tenants := f.Tenants()
+	errs := make([]error, len(tenants))
+	var wg sync.WaitGroup
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, tn *Tenant) {
+			defer wg.Done()
+			errs[i] = tn.workload(ops)
+		}(i, tn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markerPath is the per-tenant file CheckIsolation audits.
+func markerPath(id int) string { return fmt.Sprintf("/tmp/tenant-%d", id) }
+
+func (t *Tenant) workload(ops int) error {
+	k := t.Machine.K
+	sess := t.Session
+	if err := k.WriteFile(sess, markerPath(t.ID), []byte(fmt.Sprintf("tenant %d", t.ID))); err != nil {
+		return fmt.Errorf("tenant %d marker: %w", t.ID, err)
+	}
+	rng := rand.New(rand.NewSource(int64(t.ID) + 1))
+	var sock *netstack.Socket
+	for op := 0; op < ops; op++ {
+		switch rng.Intn(8) {
+		case 0:
+			path := fmt.Sprintf("/tmp/t%d-f%d", t.ID, rng.Intn(4))
+			if err := k.WriteFile(sess, path, []byte(fmt.Sprintf("op %d", op))); err != nil {
+				return fmt.Errorf("tenant %d write %s: %w", t.ID, path, err)
+			}
+		case 1:
+			if _, err := k.ReadFile(sess, "/etc/passwd"); err != nil {
+				return fmt.Errorf("tenant %d read passwd: %w", t.ID, err)
+			}
+		case 2:
+			// Recreating an existing directory is fine; only the first
+			// mkdir of each name does work.
+			path := fmt.Sprintf("/home/alice/d%d", rng.Intn(4))
+			if err := k.Mkdir(sess, path, 0o755); err != nil && !isExist(err) {
+				return fmt.Errorf("tenant %d mkdir %s: %w", t.ID, path, err)
+			}
+		case 3:
+			// Whitelisted user mount (row "/dev/sdb1 /media/usb vfat
+			// rw,users,noauto"): granted in-kernel on Protego, root-only
+			// on the baseline — either way it must stay tenant-local.
+			err := k.Mount(sess, "/dev/sdb1", "/media/usb", "vfat", []string{"rw", "nosuid", "nodev"})
+			if err == nil {
+				if err := k.Umount(sess, "/media/usb"); err != nil {
+					return fmt.Errorf("tenant %d umount: %w", t.ID, err)
+				}
+			}
+		case 4:
+			if sock == nil {
+				s, err := k.Socket(sess, netstack.AF_INET, netstack.SOCK_DGRAM, netstack.IPPROTO_UDP)
+				if err != nil {
+					return fmt.Errorf("tenant %d socket: %w", t.ID, err)
+				}
+				sock = s
+				// The same port in every tenant: a shared netstack would
+				// refuse all but the first fleet-wide bind.
+				if err := k.Bind(sess, sock, 8080); err != nil {
+					return fmt.Errorf("tenant %d bind 8080: %w", t.ID, err)
+				}
+			}
+		case 5:
+			if sock != nil {
+				if err := k.CloseSocket(sess, sock); err != nil {
+					return fmt.Errorf("tenant %d close socket: %w", t.ID, err)
+				}
+				sock = nil
+			}
+		case 6:
+			child := k.Fork(sess)
+			k.Exit(child, 0)
+		case 7:
+			if code, _, stderr, err := t.Machine.Run(sess, []string{userspace.BinID}, nil); err != nil || code != 0 {
+				return fmt.Errorf("tenant %d id: code=%d err=%v stderr=%s", t.ID, code, err, stderr)
+			}
+		}
+	}
+	if sock != nil {
+		if err := k.CloseSocket(sess, sock); err != nil {
+			return fmt.Errorf("tenant %d close socket: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+func isExist(err error) bool {
+	return errno.Of(err) == errno.EEXIST
+}

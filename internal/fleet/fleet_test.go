@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"protego/internal/kernel"
+	"protego/internal/vfs"
+)
+
+func newFleet(t *testing.T, tenants, ops int) *Manager {
+	t.Helper()
+	f, err := NewManager(kernel.ModeProtego)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stamp(tenants); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunWorkloads(ops); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetSmoke is the CI smoke configuration: 64 tenants from one
+// golden image, mixed concurrent workloads, zero cross-tenant leakage.
+func TestFleetSmoke(t *testing.T) {
+	f := newFleet(t, 64, 30)
+	if problems := f.CheckIsolation(); len(problems) > 0 {
+		t.Fatalf("isolation violated:\n  %s", strings.Join(problems, "\n  "))
+	}
+	agg := f.AggregateCounters()
+	if agg.Tenants != 64 {
+		t.Fatalf("aggregated %d tenants, want 64", agg.Tenants)
+	}
+	if agg.Emitted == 0 {
+		t.Fatal("no trace events aggregated across the fleet")
+	}
+	for id, n := range agg.ByTenant {
+		if n == 0 {
+			t.Fatalf("tenant %d emitted no trace events", id)
+		}
+	}
+}
+
+// TestFleetScale is the acceptance floor: 256 concurrent tenant machines
+// with per-tenant isolation still holding.
+func TestFleetScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-tenant fleet in -short mode")
+	}
+	f := newFleet(t, 256, 10)
+	if got := len(f.Tenants()); got != 256 {
+		t.Fatalf("stamped %d tenants, want 256", got)
+	}
+	if problems := f.CheckIsolation(); len(problems) > 0 {
+		t.Fatalf("isolation violated:\n  %s", strings.Join(problems, "\n  "))
+	}
+}
+
+// TestFleetPolicyPush: one control-plane push lands the new whitelist
+// row on every tenant (config file AND in-kernel policy), the golden
+// image stays pre-push, and newly stamped tenants don't inherit it.
+func TestFleetPolicyPush(t *testing.T) {
+	f := newFleet(t, 8, 5)
+	const line = "/dev/sde1  /mnt/backup  ext4  rw,user,noauto  0 0"
+	if err := f.PushMountPolicy(line); err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range f.Tenants() {
+		fstab, err := tn.Machine.K.FS.ReadFile(vfs.RootCred, "/etc/fstab")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(fstab), "/dev/sde1") {
+			t.Fatalf("tenant %d fstab missing pushed row", tn.ID)
+		}
+		found := false
+		for _, r := range tn.Machine.Protego.MountRules() {
+			if r.Device == "/dev/sde1" && r.MountPoint == "/mnt/backup" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("tenant %d in-kernel whitelist missing pushed row", tn.ID)
+		}
+		// The push is live: the tenant's user can now make the mount.
+		if err := tn.Machine.K.Mount(tn.Session, "/dev/sde1", "/mnt/backup", "ext4", []string{"rw"}); err != nil {
+			t.Fatalf("tenant %d: pushed policy not effective: %v", tn.ID, err)
+		}
+	}
+	goldenFstab, err := f.Golden().K.FS.ReadFile(vfs.RootCred, "/etc/fstab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(goldenFstab), "/dev/sde1") {
+		t.Fatal("policy push leaked into the golden image")
+	}
+	if err := f.Stamp(1); err != nil {
+		t.Fatal(err)
+	}
+	fresh := f.Tenants()[len(f.Tenants())-1]
+	for _, r := range fresh.Machine.Protego.MountRules() {
+		if r.Device == "/dev/sde1" {
+			t.Fatal("freshly stamped tenant inherited a post-snapshot policy push")
+		}
+	}
+}
+
+// TestFleetBaselineMode: the manager also works over baseline-Linux
+// images (no Protego module, no monitord) — pushes just skip the reload.
+func TestFleetBaselineMode(t *testing.T) {
+	f, err := NewManager(kernel.ModeLinux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stamp(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RunWorkloads(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PushMountPolicy("/dev/sde1  /mnt/backup  ext4  rw,user,noauto  0 0"); err != nil {
+		t.Fatal(err)
+	}
+	if problems := f.CheckIsolation(); len(problems) > 0 {
+		t.Fatalf("isolation violated:\n  %s", strings.Join(problems, "\n  "))
+	}
+}

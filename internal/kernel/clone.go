@@ -1,0 +1,132 @@
+package kernel
+
+import (
+	"bytes"
+	"maps"
+
+	"protego/internal/lsm"
+	"protego/internal/trace"
+	"protego/internal/vfs"
+)
+
+// Clone returns an independent copy of the kernel backed by a
+// copy-on-write snapshot of its file system. The FS is frozen (idempotent
+// and cheap when already frozen) and shared until first write; the
+// netstack, netfilter table, task table, and credentials are deep-copied;
+// the clone gets its own tracer, its own empty LSM chain, and an empty
+// device registry. The binary registry snapshot is shared — programs are
+// stateless functions and registration is already copy-on-write.
+//
+// The world layer finishes the job (LSM modules, device handlers, proc
+// handler rebinding) in Snapshot.Clone; a bare Kernel.Clone still runs
+// syscalls, but its /proc/trace and /proc/protego files point at the
+// parent until rebound.
+func (k *Kernel) Clone() *Kernel {
+	k.FS.Freeze()
+	c := &Kernel{
+		Mode:   k.Mode,
+		FS:     k.FS.Clone(),
+		Net:    k.Net.Clone(),
+		Filter: k.Filter.Clone(),
+		LSM:    lsm.NewChain(),
+		Trace:  trace.New(trace.DefaultCapacity),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[int]*Task)
+	}
+	c.Net.SetFilter(c.Filter)
+	c.LSM.SetTracer(c.Trace)
+	c.Filter.SetTracer(c.Trace)
+	c.registerDcacheCounters()
+
+	c.nextPID.Store(k.nextPID.Load())
+	c.unprivNS.Store(k.unprivNS.Load())
+	c.binaries.Store(k.binaries.Load())
+	emptyDevs := make(map[string]IoctlHandler)
+	c.devices.Store(&emptyDevs)
+
+	// Clone the task table shard by shard. File descriptions shared
+	// between tasks (fork semantics: one offset) stay shared between the
+	// cloned tasks, so descriptor identity survives the snapshot.
+	fdMap := make(map[*FileDesc]*FileDesc)
+	for i := range k.shards {
+		sh := &k.shards[i]
+		sh.mu.RLock()
+		for pid, t := range sh.m {
+			c.shards[i].m[pid] = t.cloneInto(c, fdMap)
+		}
+		sh.mu.RUnlock()
+	}
+	return c
+}
+
+// cloneInto deep-copies the task onto kernel c: credentials, environment,
+// security blobs (including a private network namespace, if any), and
+// descriptors are private to the clone; stdio buffers start fresh.
+func (t *Task) cloneInto(c *Kernel, fdMap map[*FileDesc]*FileDesc) *Task {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	nt := &Task{
+		k:           c,
+		pid:         t.pid,
+		ppid:        t.ppid,
+		creds:       t.creds.Clone(),
+		cwd:         t.cwd,
+		binary:      t.binary,
+		argv:        append([]string(nil), t.argv...),
+		env:         maps.Clone(t.env),
+		blobs:       cloneBlobs(t.blobs),
+		fds:         make(map[int]*FileDesc, len(t.fds)),
+		nextFD:      t.nextFD,
+		sigHandlers: maps.Clone(t.sigHandlers),
+		Stdout:      &bytes.Buffer{},
+		Stderr:      &bytes.Buffer{},
+		Stdin:       &bytes.Buffer{},
+		Asker:       t.Asker,
+		exited:      t.exited,
+		exitCode:    t.exitCode,
+	}
+	for fd, f := range t.fds {
+		nf, ok := fdMap[f]
+		if !ok {
+			cp := *f
+			nf = &cp
+			fdMap[f] = nf
+		}
+		nt.fds[fd] = nf
+	}
+	return nt
+}
+
+// cloneBlobs copies the security-blob map. Blob values are immutable
+// value types except the network namespace, whose private stack must be
+// deep-copied so namespace traffic stays inside the clone.
+func cloneBlobs(blobs map[string]any) map[string]any {
+	if blobs == nil {
+		return nil
+	}
+	out := make(map[string]any, len(blobs))
+	for key, v := range blobs {
+		if ns, ok := v.(*netNS); ok {
+			out[key] = &netNS{stack: ns.stack.Clone(), owner: ns.owner}
+			continue
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// RebindTraceProc repoints /proc/trace and /proc/trace/stats at this
+// kernel's tracer. Machine cloning calls it after Kernel.Clone — the
+// cloned FS still holds the parent's render closures; RebindProc
+// privatizes the shared inodes before swapping handlers.
+func (k *Kernel) RebindTraceProc() error {
+	if err := k.FS.RebindProc(ProcTrace, func(vfs.Cred) ([]byte, error) {
+		return []byte(k.Trace.RenderEvents(0)), nil
+	}, nil); err != nil {
+		return err
+	}
+	return k.FS.RebindProc(ProcTraceStats, func(vfs.Cred) ([]byte, error) {
+		return []byte(k.Trace.RenderStats()), nil
+	}, nil)
+}

@@ -86,6 +86,11 @@ func (k *Kernel) Open(t *Task, path string, flags int) (fd int, err error) {
 		return -1, err
 	}
 	if flags&O_TRUNC != 0 && ino.Mode.IsRegular() && !ino.IsProc() {
+		if ino.Sealed() {
+			if nino, serr := k.FS.BreakSeal(clean); serr == nil {
+				ino = nino
+			}
+		}
 		ino.Data = nil
 	}
 	desc := &FileDesc{
@@ -160,6 +165,13 @@ func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
 			return 0, err
 		}
 		return len(data), nil
+	}
+	if f.Ino.Sealed() {
+		// The descriptor's inode is shared with a snapshot; swap in the
+		// private copy before mutating file data.
+		if nino, serr := k.FS.BreakSeal(f.Path); serr == nil {
+			f.Ino = nino
+		}
 	}
 	if f.Flags&O_APPEND != 0 {
 		f.Ino.Data = append(f.Ino.Data, data...)

@@ -1,0 +1,68 @@
+package netstack
+
+import "maps"
+
+// Clone returns a deep copy of the stack for machine snapshots:
+// interfaces (including modem session parameters), routes, sockets, and
+// the bound-port table are duplicated so the clone's network churn never
+// shows through to the parent. Cloned sockets get fresh queues and no
+// peer link — a cross-machine peer pointer would deliver packets into the
+// wrong tenant. The output filter and link partner are deliberately left
+// unset; the owning kernel wires both to the clone's own netfilter table.
+func (s *Stack) Clone() *Stack {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := &Stack{
+		hostIP:   s.hostIP,
+		ifaces:   make(map[string]*Iface, len(s.ifaces)),
+		routes:   append([]Route(nil), s.routes...),
+		ports:    make(map[portKey]*Socket, len(s.ports)),
+		sockets:  make(map[int]*Socket, len(s.sockets)),
+		nextSock: s.nextSock,
+	}
+	for name, ifc := range s.ifaces {
+		ci := *ifc
+		if ifc.Params != nil {
+			ci.Params = maps.Clone(ifc.Params)
+		}
+		c.ifaces[name] = &ci
+	}
+	for id, sock := range s.sockets {
+		c.sockets[id] = sock.cloneInto(c)
+	}
+	for pk, sock := range s.ports {
+		if cs, ok := c.sockets[sock.ID]; ok {
+			c.ports[pk] = cs
+		}
+	}
+	return c
+}
+
+// cloneInto copies the socket's identity and state onto a new stack with
+// fresh, empty queues and no peer.
+func (sock *Socket) cloneInto(c *Stack) *Socket {
+	sock.mu.Lock()
+	defer sock.mu.Unlock()
+	cs := &Socket{
+		ID:          sock.ID,
+		Family:      sock.Family,
+		Type:        sock.Type,
+		Proto:       sock.Proto,
+		LocalIP:     sock.LocalIP,
+		LocalPort:   sock.LocalPort,
+		RemoteIP:    sock.RemoteIP,
+		RemotePort:  sock.RemotePort,
+		OwnerUID:    sock.OwnerUID,
+		OwnerBinary: sock.OwnerBinary,
+		UnprivRaw:   sock.UnprivRaw,
+		stack:       c,
+		recvQ:       make(chan *Packet, recvQueueDepth),
+		listening:   sock.listening,
+		connected:   sock.connected,
+		closed:      sock.closed,
+	}
+	if sock.acceptQ != nil {
+		cs.acceptQ = make(chan *Socket, cap(sock.acceptQ))
+	}
+	return cs
+}

@@ -6,36 +6,71 @@ import (
 	"sync/atomic"
 )
 
+// ringChunkShift sets the chunk granularity: 32 events per chunk keeps
+// the first-emit allocation a few KB (small-object malloc, no large-span
+// zeroing) instead of the whole ring.
+const (
+	ringChunkShift = 5
+	ringChunkSize  = 1 << ringChunkShift
+)
+
+// ringChunk is one lazily-allocated span of slots. Each slot carries its
+// own tiny mutex that only serializes the (rare) case of a writer lapping
+// a concurrent reader or a slower writer on the same slot.
+type ringChunk struct {
+	slots [ringChunkSize]Event
+	locks [ringChunkSize]sync.Mutex
+}
+
 // Ring is a fixed-capacity, overwrite-oldest event buffer. The write cursor
 // is a single atomic counter, so claiming a slot never contends on a lock
-// shared with other writers; each slot carries its own tiny mutex that only
-// serializes the (rare) case of a writer lapping a concurrent reader or a
-// slower writer on the same slot. Capacity is always a power of two so the
-// slot index is a mask, not a division.
+// shared with other writers. Capacity is always a power of two so the slot
+// index is a mask, not a division.
+//
+// Slot storage is allocated in chunks on first touch: a tracer that never
+// emits costs a few words, and one that emits a little pays for one chunk,
+// not capacity*sizeof(Event). This is what keeps machine snapshots cheap —
+// every cloned kernel gets its own tracer, and most machines in a big
+// fleet only ever emit a handful of events.
 type Ring struct {
-	slots []Event
-	locks []sync.Mutex
-	mask  uint64
+	capacity int
+	mask     uint64
+	chunks   []atomic.Pointer[ringChunk]
 	// cursor is the next sequence number to be claimed; it only grows.
 	cursor atomic.Uint64
 }
 
 // NewRing creates a ring with at least the requested capacity, rounded up
-// to a power of two (minimum 2).
+// to a power of two (minimum 2). No slot storage is allocated until the
+// first Append.
 func NewRing(capacity int) *Ring {
 	n := 2
 	for n < capacity {
 		n <<= 1
 	}
-	return &Ring{
-		slots: make([]Event, n),
-		locks: make([]sync.Mutex, n),
-		mask:  uint64(n - 1),
+	nChunks := n >> ringChunkShift
+	if nChunks == 0 {
+		nChunks = 1
 	}
+	return &Ring{capacity: n, mask: uint64(n - 1), chunks: make([]atomic.Pointer[ringChunk], nChunks)}
 }
 
 // Cap returns the ring capacity (a power of two).
-func (r *Ring) Cap() int { return len(r.slots) }
+func (r *Ring) Cap() int { return r.capacity }
+
+// chunkFor returns slot i's chunk, installing it on first use. Losing the
+// install race just means using the winner's chunk.
+func (r *Ring) chunkFor(i uint64) *ringChunk {
+	p := &r.chunks[i>>ringChunkShift]
+	if c := p.Load(); c != nil {
+		return c
+	}
+	fresh := &ringChunk{}
+	if p.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return p.Load()
+}
 
 // Append claims the next sequence number and stores the event, overwriting
 // the event cap slots older. It returns the assigned sequence number.
@@ -43,14 +78,16 @@ func (r *Ring) Append(ev Event) uint64 {
 	seq := r.cursor.Add(1) - 1
 	ev.Seq = seq
 	i := seq & r.mask
-	r.locks[i].Lock()
+	c := r.chunkFor(i)
+	j := i & (ringChunkSize - 1)
+	c.locks[j].Lock()
 	// A slower writer holding an older claim for this slot must not
 	// clobber a newer event that already landed (the cursor, not arrival
 	// order, defines age).
-	if r.slots[i].Seq <= seq || r.slots[i].Time.IsZero() {
-		r.slots[i] = ev
+	if c.slots[j].Seq <= seq || c.slots[j].Time.IsZero() {
+		c.slots[j] = ev
 	}
-	r.locks[i].Unlock()
+	c.locks[j].Unlock()
 	return seq
 }
 
@@ -63,7 +100,7 @@ func (r *Ring) Emitted() uint64 { return r.cursor.Load() }
 // retained == Emitted() - Dropped() holds exactly.
 func (r *Ring) Dropped() uint64 {
 	n := r.cursor.Load()
-	c := uint64(len(r.slots))
+	c := uint64(r.capacity)
 	if n <= c {
 		return 0
 	}
@@ -75,7 +112,7 @@ func (r *Ring) Dropped() uint64 {
 // returned torn.
 func (r *Ring) Snapshot() []Event {
 	cur := r.cursor.Load()
-	c := uint64(len(r.slots))
+	c := uint64(r.capacity)
 	start := uint64(0)
 	if cur > c {
 		start = cur - c
@@ -83,9 +120,17 @@ func (r *Ring) Snapshot() []Event {
 	out := make([]Event, 0, cur-start)
 	for seq := start; seq < cur; seq++ {
 		i := seq & r.mask
-		r.locks[i].Lock()
-		ev := r.slots[i]
-		r.locks[i].Unlock()
+		// A nil chunk holds no stored events — at worst a writer has
+		// claimed a seq here but not installed storage yet, which is the
+		// same claimed-but-unstored case skipped below.
+		ch := r.chunks[i>>ringChunkShift].Load()
+		if ch == nil {
+			continue
+		}
+		j := i & (ringChunkSize - 1)
+		ch.locks[j].Lock()
+		ev := ch.slots[j]
+		ch.locks[j].Unlock()
 		// The slot may hold an older event (writer claimed seq but has
 		// not stored yet) or a newer one (we were lapped); keep only
 		// events still inside the snapshot window, dropping duplicates

@@ -32,6 +32,14 @@ type FS struct {
 	// run before fs.mu is taken, so an injected failure can never leak a
 	// lock.
 	faults atomic.Pointer[faultinject.Injector]
+
+	// cow marks a frozen (or cloned) file system: mutating operations
+	// copy sealed inodes up into private ones first (see cow.go). An
+	// atomic so the non-COW fast paths read it without fs.mu.
+	cow atomic.Bool
+	// cowBreaks counts privatized inodes; cowWriteLocked uses it to
+	// detect whether a copy-up happened (guarded by fs.mu).
+	cowBreaks uint64
 }
 
 type savedDir struct {
@@ -209,6 +217,7 @@ func (fs *FS) Mkdir(c Cred, path string, mode Mode, uid, gid int) (*Inode, error
 		return nil, err
 	}
 	fs.mu.Lock()
+	fs.cowWriteLocked(path, false)
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
 		fs.mu.Unlock()
@@ -258,6 +267,7 @@ func (fs *FS) Create(c Cred, path string, mode Mode, uid, gid int) (*Inode, erro
 		return nil, err
 	}
 	fs.mu.Lock()
+	fs.cowWriteLocked(path, false)
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
 		fs.mu.Unlock()
@@ -287,6 +297,7 @@ func (fs *FS) Create(c Cred, path string, mode Mode, uid, gid int) (*Inode, erro
 // Symlink creates a symbolic link at path pointing to target.
 func (fs *FS) Symlink(c Cred, target, path string, uid, gid int) error {
 	fs.mu.Lock()
+	fs.cowWriteLocked(path, false)
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
 		fs.mu.Unlock()
@@ -315,6 +326,7 @@ func (fs *FS) Mknod(c Cred, path string, devType DeviceType, major, minor int, m
 		return nil, errno.EPERM
 	}
 	fs.mu.Lock()
+	fs.cowWriteLocked(path, false)
 	parent, base, err := fs.lookupParent(c, path)
 	if err != nil {
 		fs.mu.Unlock()
@@ -341,6 +353,7 @@ func (fs *FS) Mknod(c Cred, path string, devType DeviceType, major, minor int, m
 // Used by the kernel to expose the /proc policy interface of Figure 1.
 func (fs *FS) CreateProc(path string, mode Mode, read ProcReadFunc, write ProcWriteFunc) (*Inode, error) {
 	fs.mu.Lock()
+	fs.cowWriteLocked(path, false)
 	parent, base, err := fs.lookupParent(RootCred, path)
 	if err != nil {
 		fs.mu.Unlock()
@@ -437,6 +450,15 @@ func (fs *FS) writeInode(c Cred, ino *Inode, clean string, data []byte, app bool
 	if ino.WriteFn != nil {
 		return ino.WriteFn(c, data)
 	}
+	if ino.sealed.Load() {
+		// Snapshot-shared inode: privatize the path before touching Data.
+		fs.mu.Lock()
+		fs.cowWriteLocked(clean, true)
+		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
+			ino = nino
+		}
+		fs.mu.Unlock()
+	}
 	ino.mu.Lock()
 	if app {
 		ino.Data = append(ino.Data, data...)
@@ -463,6 +485,7 @@ func (fs *FS) Remove(c Cred, path string) error {
 	}
 	clean := CleanPath(path, "/")
 	fs.mu.Lock()
+	fs.cowWriteLocked(clean, false)
 	parent, base, err := fs.lookupParent(c, clean)
 	if err != nil {
 		fs.mu.Unlock()
@@ -506,6 +529,8 @@ func (fs *FS) Rename(c Cred, oldPath, newPath string) error {
 	oldClean := CleanPath(oldPath, "/")
 	newClean := CleanPath(newPath, "/")
 	fs.mu.Lock()
+	fs.cowWriteLocked(oldClean, false)
+	fs.cowWriteLocked(newClean, false)
 	oldParent, oldBase, err := fs.lookupParent(c, oldClean)
 	if err != nil {
 		fs.mu.Unlock()
@@ -561,6 +586,12 @@ func (fs *FS) Chmod(c Cred, path string, mode Mode) error {
 		mode &^= ModeSetgid
 	}
 	fs.mu.Lock()
+	if ino.sealed.Load() {
+		fs.cowWriteLocked(clean, true)
+		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
+			ino = nino
+		}
+	}
 	ino.Mode = ino.Mode.Type() | mode.Perm()
 	ino.Ctime = time.Now()
 	// Cached chains hold this inode by pointer and re-check MayExec on
@@ -587,6 +618,12 @@ func (fs *FS) Chown(c Cred, path string, uid, gid int) error {
 		return errno.EPERM
 	}
 	fs.mu.Lock()
+	if ino.sealed.Load() {
+		fs.cowWriteLocked(clean, true)
+		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
+			ino = nino
+		}
+	}
 	ino.UID, ino.GID = uid, gid
 	if ino.Mode.IsRegular() {
 		ino.Mode &^= ModeSetuid | ModeSetgid

@@ -3,6 +3,7 @@ package vfs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"protego/internal/caps"
@@ -72,7 +73,16 @@ type Inode struct {
 
 	// mu guards Data for concurrent file IO on the same inode.
 	mu sync.Mutex
+
+	// sealed marks an inode frozen into a copy-on-write snapshot: it may
+	// be shared between file systems and must be privatized (copied up)
+	// before any mutation. One-way; private copies start unsealed.
+	sealed atomic.Bool
 }
+
+// Sealed reports whether the inode belongs to a frozen snapshot and must
+// be copied up before mutation (see FS.BreakSeal).
+func (ino *Inode) Sealed() bool { return ino.sealed.Load() }
 
 // IsProc reports whether the inode is a synthetic (proc-style) file.
 func (ino *Inode) IsProc() bool { return ino.ReadFn != nil || ino.WriteFn != nil }

@@ -39,6 +39,7 @@ func (fs *FS) AttachMount(c Cred, m *Mount) error {
 	clean := CleanPath(m.Point, "/")
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.cowWriteLocked(clean, true)
 	ino, err := fs.lookupLocked(c, clean, true)
 	if err != nil {
 		return err
@@ -79,6 +80,7 @@ func (fs *FS) DetachMount(c Cred, point string) (*Mount, error) {
 	clean := CleanPath(point, "/")
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	fs.cowWriteLocked(clean, true)
 	idx := -1
 	for i, m := range fs.mounts {
 		if m.Point == clean {

@@ -1,0 +1,69 @@
+package world
+
+import (
+	"fmt"
+
+	"protego/internal/accountdb"
+	"protego/internal/authsvc"
+	"protego/internal/monitord"
+)
+
+// Snapshot is a frozen golden image of a machine. Clone stamps out
+// independent machines that share the image's file system copy-on-write,
+// so cloning costs a small fraction of a fresh Build. The golden machine
+// stays usable; mutations on any side are private (sealed inodes are
+// copied up before the first write).
+type Snapshot struct {
+	src *Machine
+}
+
+// Snapshot freezes the machine's file system and returns a handle for
+// stamping clones. The machine should be quiescent (no syscalls in
+// flight); afterwards it can keep running — its own writes copy up too.
+func (m *Machine) Snapshot() *Snapshot {
+	m.K.FS.Freeze()
+	return &Snapshot{src: m}
+}
+
+// Machine returns the golden machine backing the snapshot.
+func (s *Snapshot) Machine() *Machine { return s.src }
+
+// Clone builds an independent machine from the snapshot. The kernel,
+// task table, credentials, netstack, and netfilter table are deep-copied;
+// the file system is shared copy-on-write; the LSM stack (AppArmor, and
+// on Protego the core module with its policy state) is recreated against
+// the clone with the parent's policies; device handlers and the
+// /proc/trace and /proc/protego interfaces are rebound to the clone's
+// own objects. At clone time the new machine's Fingerprint equals the
+// parent's.
+func (s *Snapshot) Clone() (*Machine, error) {
+	p := s.src
+	k := p.K.Clone()
+	m := &Machine{K: k, DB: accountdb.NewDB(k.FS)}
+	m.registerDeviceHandlers()
+	if err := k.RebindTraceProc(); err != nil {
+		return nil, fmt.Errorf("world: clone trace proc: %w", err)
+	}
+
+	// Same LSM order as Build: AppArmor first, Protego extends it.
+	m.AppArmor = p.AppArmor.Clone()
+	k.LSM.Register(m.AppArmor)
+
+	m.Auth = authsvc.New(m.DB)
+	m.Auth.SetTracer(k.Trace)
+	m.Auth.SetWindow(p.Auth.Window())
+	if p.Protego != nil {
+		mod, err := p.Protego.CloneInto(k, m.DB, m.Auth)
+		if err != nil {
+			return nil, fmt.Errorf("world: clone protego: %w", err)
+		}
+		m.Protego = mod
+		m.Monitor = monitord.New(k, m.DB, mod)
+	}
+
+	m.Init = k.Task(p.Init.PID())
+	if m.Init == nil {
+		return nil, fmt.Errorf("world: clone lost init (pid %d)", p.Init.PID())
+	}
+	return m, nil
+}
