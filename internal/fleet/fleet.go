@@ -41,6 +41,13 @@ type Manager struct {
 
 	mu      sync.Mutex
 	tenants []*Tenant
+
+	// stampMu serializes Stamp calls end to end: tenant IDs continue from
+	// the fleet size, so allocating the ID range and appending the batch
+	// must be atomic with respect to other stamps or two callers would
+	// mint duplicate IDs (and duplicate marker paths, which would read as
+	// false isolation violations).
+	stampMu sync.Mutex
 }
 
 // NewManager boots one golden machine of the given mode and freezes it.
@@ -64,8 +71,15 @@ func (f *Manager) Tenants() []*Tenant {
 }
 
 // Stamp clones n new tenant machines concurrently and opens a user
-// session on each. Tenant IDs continue from the current fleet size.
+// session on each. Tenant IDs continue from the current fleet size;
+// concurrent Stamp calls are serialized so the range is allocated and
+// committed atomically. The batch joins the fleet all-or-nothing: on any
+// clone or session failure the whole batch is discarded — the clones
+// hold no external resources, so dropping them is a complete teardown —
+// and the fleet is left exactly as before the call.
 func (f *Manager) Stamp(n int) error {
+	f.stampMu.Lock()
+	defer f.stampMu.Unlock()
 	f.mu.Lock()
 	base := len(f.tenants)
 	f.mu.Unlock()

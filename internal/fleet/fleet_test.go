@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"protego/internal/kernel"
@@ -105,6 +106,49 @@ func TestFleetPolicyPush(t *testing.T) {
 		if r.Device == "/dev/sde1" {
 			t.Fatal("freshly stamped tenant inherited a post-snapshot policy push")
 		}
+	}
+}
+
+// TestFleetConcurrentStamp: concurrent Stamp calls must never mint
+// duplicate tenant IDs — a duplicate would collide marker paths and
+// read as a false isolation violation.
+func TestFleetConcurrentStamp(t *testing.T) {
+	f, err := NewManager(kernel.ModeProtego)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stamps, batch = 4, 8
+	var wg sync.WaitGroup
+	errs := make([]error, stamps)
+	for i := 0; i < stamps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = f.Stamp(batch)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tenants := f.Tenants()
+	if len(tenants) != stamps*batch {
+		t.Fatalf("fleet has %d tenants, want %d", len(tenants), stamps*batch)
+	}
+	seen := make(map[int]bool, len(tenants))
+	for _, tn := range tenants {
+		if seen[tn.ID] {
+			t.Fatalf("duplicate tenant ID %d", tn.ID)
+		}
+		seen[tn.ID] = true
+	}
+	if err := f.RunWorkloads(5); err != nil {
+		t.Fatal(err)
+	}
+	if problems := f.CheckIsolation(); len(problems) > 0 {
+		t.Fatalf("isolation violated:\n  %s", strings.Join(problems, "\n  "))
 	}
 }
 

@@ -86,11 +86,9 @@ func (k *Kernel) Open(t *Task, path string, flags int) (fd int, err error) {
 		return -1, err
 	}
 	if flags&O_TRUNC != 0 && ino.Mode.IsRegular() && !ino.IsProc() {
-		if ino.Sealed() {
-			if nino, serr := k.FS.BreakSeal(clean); serr == nil {
-				ino = nino
-			}
-		}
+		// A sealed inode is shared with a snapshot: truncate a private
+		// copy, never the shared one.
+		ino = k.FS.BreakSealInode(clean, ino)
 		ino.Data = nil
 	}
 	desc := &FileDesc{
@@ -167,11 +165,11 @@ func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
 		return len(data), nil
 	}
 	if f.Ino.Sealed() {
-		// The descriptor's inode is shared with a snapshot; swap in the
-		// private copy before mutating file data.
-		if nino, serr := k.FS.BreakSeal(f.Path); serr == nil {
-			f.Ino = nino
-		}
+		// The descriptor's inode is shared with a snapshot; rebind to a
+		// private copy before mutating file data. When the path entry was
+		// unlinked or replaced since open (open-unlink-write), the copy is
+		// anonymous and the write stays fd-local.
+		f.Ino = k.FS.BreakSealInode(f.Path, f.Ino)
 	}
 	if f.Flags&O_APPEND != 0 {
 		f.Ino.Data = append(f.Ino.Data, data...)

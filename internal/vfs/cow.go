@@ -186,24 +186,36 @@ func (fs *FS) cowWriteLocked(path string, followLast bool) {
 	}
 }
 
-// BreakSeal returns a writable private inode for path, privatizing sealed
-// inodes along the way. The kernel's fd-based write path uses it when a
-// descriptor's inode is sealed (opened before a snapshot, or inherited
-// through a machine clone); on a non-COW file system it is a plain
-// resolve.
-func (fs *FS) BreakSeal(path string) (*Inode, error) {
-	clean := cleanedPath(path, "/")
+// BreakSealInode returns a writable private inode for a descriptor that
+// holds ino, originally opened at path. The kernel's fd-based write path
+// uses it when a descriptor's inode is sealed (opened before a snapshot,
+// or inherited through a machine clone). If path still resolves to the
+// same inode, the copy-up happens in the tree, so path readers observe
+// the descriptor's writes. If the directory entry was removed or now
+// names a different file — the classic open-unlink-write tempfile idiom,
+// or a rename over the name — the descriptor instead gets an anonymous
+// private copy: the write stays fd-local and whatever now occupies path
+// is untouched. Either way a sealed inode is never mutated, so the
+// snapshot sharers stay pristine.
+func (fs *FS) BreakSealInode(path string, ino *Inode) *Inode {
+	if !ino.sealed.Load() {
+		return ino
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if !fs.cow.Load() {
-		return fs.lookupLocked(RootCred, clean, true)
+	if fs.cow.Load() {
+		before := fs.cowBreaks
+		nino, err := fs.copyUpLocked(cleanedPath(path, "/"), true, 0)
+		if fs.cowBreaks != before {
+			fs.dcache.clear()
+		}
+		if err == nil && nino.Ino == ino.Ino {
+			return nino
+		}
 	}
-	before := fs.cowBreaks
-	ino, err := fs.copyUpLocked(clean, true, 0)
-	if fs.cowBreaks != before {
-		fs.dcache.clear()
-	}
-	return ino, err
+	// The entry is gone or replaced since open (or the FS is somehow not
+	// in COW mode): privatize the inode itself, off-tree.
+	return ino.cowCopy()
 }
 
 // RebindProc replaces the proc handlers of an existing synthetic inode

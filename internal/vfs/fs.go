@@ -452,12 +452,20 @@ func (fs *FS) writeInode(c Cred, ino *Inode, clean string, data []byte, app bool
 	}
 	if ino.sealed.Load() {
 		// Snapshot-shared inode: privatize the path before touching Data.
+		// The copy-up can fail (the entry may vanish under a concurrent
+		// remove); a write must then fail rather than land on the shared
+		// inode, which every sibling snapshot can read.
 		fs.mu.Lock()
 		fs.cowWriteLocked(clean, true)
-		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
-			ino = nino
+		nino, lerr := fs.lookupLocked(c, clean, true)
+		if lerr == nil && nino.sealed.Load() {
+			lerr = errno.EROFS
 		}
 		fs.mu.Unlock()
+		if lerr != nil {
+			return lerr
+		}
+		ino = nino
 	}
 	ino.mu.Lock()
 	if app {
@@ -588,9 +596,15 @@ func (fs *FS) Chmod(c Cred, path string, mode Mode) error {
 	fs.mu.Lock()
 	if ino.sealed.Load() {
 		fs.cowWriteLocked(clean, true)
-		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
-			ino = nino
+		nino, lerr := fs.lookupLocked(c, clean, true)
+		if lerr == nil && nino.sealed.Load() {
+			lerr = errno.EROFS
 		}
+		if lerr != nil {
+			fs.mu.Unlock()
+			return lerr
+		}
+		ino = nino
 	}
 	ino.Mode = ino.Mode.Type() | mode.Perm()
 	ino.Ctime = time.Now()
@@ -620,9 +634,15 @@ func (fs *FS) Chown(c Cred, path string, uid, gid int) error {
 	fs.mu.Lock()
 	if ino.sealed.Load() {
 		fs.cowWriteLocked(clean, true)
-		if nino, err := fs.lookupLocked(c, clean, true); err == nil {
-			ino = nino
+		nino, lerr := fs.lookupLocked(c, clean, true)
+		if lerr == nil && nino.sealed.Load() {
+			lerr = errno.EROFS
 		}
+		if lerr != nil {
+			fs.mu.Unlock()
+			return lerr
+		}
+		ino = nino
 	}
 	ino.UID, ino.GID = uid, gid
 	if ino.Mode.IsRegular() {

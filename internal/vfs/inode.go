@@ -81,7 +81,7 @@ type Inode struct {
 }
 
 // Sealed reports whether the inode belongs to a frozen snapshot and must
-// be copied up before mutation (see FS.BreakSeal).
+// be copied up before mutation (see FS.BreakSealInode).
 func (ino *Inode) Sealed() bool { return ino.sealed.Load() }
 
 // IsProc reports whether the inode is a synthetic (proc-style) file.

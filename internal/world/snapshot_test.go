@@ -139,6 +139,79 @@ func TestCloneIsolationAppendNoScribble(t *testing.T) {
 	}
 }
 
+// TestCloneOpenUnlinkWrite: the classic tempfile idiom — open, unlink,
+// then write the fd — performed in a clone. The unlinked descriptor
+// points at a snapshot-shared sealed inode with no path left to copy up
+// through; the write must land on a private fd-local copy, never on the
+// golden image the parent and every sibling share.
+func TestCloneOpenUnlinkWrite(t *testing.T) {
+	parent, a, b := clonePair(t)
+	base := parent.Fingerprint()
+	bBase := b.Fingerprint()
+	before, err := parent.K.FS.ReadFile(vfs.RootCred, "/etc/motd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := a.K.Fork(a.Init)
+	defer a.K.Exit(root, 0)
+	fd, err := a.K.Open(root, "/etc/motd", kernel.O_WRONLY|kernel.O_APPEND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.K.Unlink(root, "/etc/motd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.K.Write(root, fd, []byte("tempfile secret")); err != nil {
+		t.Fatalf("write to unlinked fd: %v", err)
+	}
+
+	after, err := parent.K.FS.ReadFile(vfs.RootCred, "/etc/motd")
+	if err != nil || string(after) != string(before) {
+		t.Fatalf("unlinked-fd write leaked into golden image: %q err=%v", after, err)
+	}
+	if got := parent.Fingerprint(); got != base {
+		t.Fatalf("parent fingerprint changed:\n%s", firstDiff(base, got))
+	}
+	if got := b.Fingerprint(); got != bBase {
+		t.Fatalf("sibling fingerprint changed:\n%s", firstDiff(bBase, got))
+	}
+}
+
+// TestCloneFdWriteAfterReplace: a descriptor whose path entry has been
+// replaced by a different file must not rebind to the stranger — the
+// fd's writes stay fd-local and the new occupant keeps its own contents.
+func TestCloneFdWriteAfterReplace(t *testing.T) {
+	parent, a, _ := clonePair(t)
+	base := parent.Fingerprint()
+
+	root := a.K.Fork(a.Init)
+	defer a.K.Exit(root, 0)
+	fd, err := a.K.Open(root, "/etc/shells", kernel.O_WRONLY|kernel.O_APPEND)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.K.Unlink(root, "/etc/shells"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.K.WriteFile(root, "/etc/shells", []byte("stranger\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.K.Write(root, fd, []byte("fd data")); err != nil {
+		t.Fatalf("write to replaced fd: %v", err)
+	}
+	data, err := a.K.FS.ReadFile(vfs.RootCred, "/etc/shells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "stranger\n" {
+		t.Fatalf("fd write landed on the unrelated file now at its path: %q", data)
+	}
+	if got := parent.Fingerprint(); got != base {
+		t.Fatalf("parent fingerprint changed:\n%s", firstDiff(base, got))
+	}
+}
+
 // TestCloneIsolationTasks: forks and exits in a clone never appear in the
 // parent's task table.
 func TestCloneIsolationTasks(t *testing.T) {
