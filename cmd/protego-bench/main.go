@@ -19,7 +19,9 @@
 // syscall-fuzzing traces (seeded by -difffuzzseed) against a fresh
 // baseline/Protego pair each, reporting traces/sec and divergence counts
 // (merged into the -json report when given) and exiting non-zero on any
-// unexplained divergence or invariant violation.
+// unexplained divergence or invariant violation. -seccomp tabulates the
+// per-binary syscall attack-surface reduction from the committed golden
+// allowlists and gates the syscall-entry prologue overhead at 5%.
 package main
 
 import (
@@ -53,6 +55,7 @@ func main() {
 	diffFuzzSeed := flag.Int64("difffuzzseed", 1, "seed for the differential-fuzzing trace generator")
 	fleetN := flag.Int("fleet", 0, "stamp N tenant machines from one golden snapshot and bench clone rate + fleet throughput")
 	fleetOps := flag.Int("fleetops", 30, "workload syscalls per tenant for -fleet")
+	seccompMode := flag.Bool("seccomp", false, "report per-binary syscall attack-surface reduction and gate the enter() prologue overhead (<5%)")
 	flag.Parse()
 
 	if *mutexProfile != "" || *blockProfile != "" {
@@ -149,6 +152,40 @@ func main() {
 		}
 		if !rep.Clean() {
 			fmt.Fprintf(os.Stderr, "protego-bench: fleet: %d isolation problems\n", rep.IsolationProblems)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *seccompMode {
+		iters := 0
+		if *quick {
+			// Below ~5k iterations scheduler noise swamps the few-percent
+			// signal the gate is judging.
+			iters = 5000
+		}
+		rep, err := bench.MeasureSeccomp(iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: seccomp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatSeccomp(rep))
+		if *jsonPath != "" {
+			full, err := bench.ReadReport(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: seccomp: read %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			full.Seccomp = rep
+			if err := bench.WriteReport(*jsonPath, full); err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: seccomp: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("updated %s\n", *jsonPath)
+		}
+		if !rep.GatePassed {
+			fmt.Fprintf(os.Stderr, "protego-bench: seccomp: enter() overhead gate failed (stat %+.2f%%, open/close %+.2f%%)\n",
+				rep.StatOverheadPct, rep.OpenCloseOverheadPct)
 			os.Exit(1)
 		}
 		return

@@ -9,6 +9,9 @@
 //	protego-trace -mode linux      trace the setuid baseline
 //	protego-trace -events 40       show more of the event tail
 //	protego-trace -no-workload     boot only; trace just the boot syscalls
+//	protego-trace -profiles        print the committed golden syscall profiles
+//	protego-trace -profile-diff    record this workload's syscall profile and
+//	                               diff it against the committed goldens
 //
 // The aggregate view is read from /proc/trace/stats *inside* the
 // simulation, the same way a user on the machine would read it.
@@ -21,6 +24,8 @@ import (
 
 	"protego/internal/bench"
 	"protego/internal/kernel"
+	"protego/internal/seccomp"
+	"protego/internal/seccomp/profiles"
 	"protego/internal/userspace"
 	"protego/internal/world"
 )
@@ -29,6 +34,8 @@ func main() {
 	modeName := flag.String("mode", "protego", "machine mode: linux or protego")
 	events := flag.Int("events", 25, "number of trailing trace events to print")
 	noWorkload := flag.Bool("no-workload", false, "skip the demo workload, trace only the boot")
+	profilesOnly := flag.Bool("profiles", false, "print the committed golden syscall profiles for -mode and exit")
+	profileDiff := flag.Bool("profile-diff", false, "record the workload's observed syscall profile and diff it against the committed goldens")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention pprof profile to this path at exit")
 	blockProfile := flag.String("blockprofile", "", "write a blocking pprof profile to this path at exit")
 	flag.Parse()
@@ -60,6 +67,19 @@ func main() {
 	if *modeName == "linux" {
 		mode = kernel.ModeLinux
 	}
+
+	if *profilesOnly {
+		os.Stdout.Write(profiles.Raw(mode))
+		return
+	}
+	if *profileDiff {
+		if err := runProfileDiff(mode); err != nil {
+			fmt.Fprintf(os.Stderr, "protego-trace: profile-diff: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	m, err := world.Build(world.Options{Mode: mode})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "protego-trace: %v\n", err)
@@ -98,6 +118,67 @@ func main() {
 	ds := m.K.FS.DcacheStats()
 	fmt.Printf("\nfast paths: dcache %d hits / %d misses (ratio %.4f), %d invalidated, %d cached\n",
 		ds.Hits, ds.Misses, ds.HitRatio(), ds.Invalidates, ds.Entries)
+}
+
+// runProfileDiff boots a machine with a learning-mode seccomp recorder
+// armed, replays the demo workload, and prints the observed per-binary
+// syscall profile (in the committed JSON shape) followed by a diff
+// against the committed golden for the mode. A syscall observed beyond a
+// binary's learned profile means the goldens are stale — the exit status
+// reflects it, mirroring the CI drift gate.
+func runProfileDiff(mode kernel.Mode) error {
+	m, err := world.Build(world.Options{Mode: mode})
+	if err != nil {
+		return err
+	}
+	rec := seccomp.NewRecorder(mode.String())
+	m.K.LSM.Register(rec)
+	m.K.SetSyscallGate(true)
+	if err := runWorkload(m); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	observed := rec.Set()
+	data, err := observed.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- observed profile (%s workload) ---\n%s", mode, data)
+
+	learned, err := profiles.Load(mode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n--- observed vs committed golden (%s) ---\n", mode)
+	stale := 0
+	for _, bin := range observed.Binaries() {
+		obs := observed.For(bin)
+		gold := learned.For(bin)
+		if gold == nil {
+			fmt.Printf("%s: unprofiled binary (machine union applies)\n", bin)
+			continue
+		}
+		var beyond, unexercised []string
+		for _, sn := range kernel.Sysnos() {
+			switch {
+			case obs.Allows(sn) && !gold.Allows(sn):
+				beyond = append(beyond, "+"+sn.String())
+			case !obs.Allows(sn) && gold.Allows(sn):
+				unexercised = append(unexercised, "-"+sn.String())
+			}
+		}
+		stale += len(beyond)
+		fmt.Printf("%s: %d observed / %d learned", bin, obs.Len(), gold.Len())
+		for _, d := range append(beyond, unexercised...) {
+			fmt.Printf(" %s", d)
+		}
+		fmt.Println()
+	}
+	if stale > 0 {
+		return fmt.Errorf("%d syscalls observed beyond the learned profiles; regenerate with: "+
+			"go test ./internal/seccomp/profiler -run TestGoldenProfilesUpToDate -args -update", stale)
+	}
+	fmt.Println("no syscall observed beyond its learned profile")
+	return nil
 }
 
 // runWorkload replays the quickstart scenario so every producer emits:

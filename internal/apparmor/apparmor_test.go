@@ -8,6 +8,7 @@ import (
 )
 
 type aaTask struct {
+	lsm.NullFilterSlot
 	binary string
 }
 

@@ -6,11 +6,13 @@ import (
 
 	"protego/internal/accountdb"
 	"protego/internal/caps"
+	"protego/internal/lsm"
 	"protego/internal/vfs"
 )
 
 // fakeTask implements lsm.Task plus Prompter for isolated service tests.
 type fakeTask struct {
+	lsm.NullFilterSlot
 	uid    int
 	blobs  map[string]any
 	answer string

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"protego/internal/difffuzz"
+	"protego/internal/kernel"
+	"protego/internal/seccomp/profiles"
 )
 
 // DiffFuzzReport summarizes a differential-fuzzing throughput run: n
@@ -40,14 +42,22 @@ func (r *DiffFuzzReport) Clean() bool {
 
 // RunDiffFuzz executes n generated traces from seed and aggregates the
 // outcome. Unlike the test sweep it keeps going past failures so the
-// report counts them all, shrinking each to its replay literal.
+// report counts them all, shrinking each to its replay literal. The
+// Protego machine audits every step against the committed golden seccomp
+// profiles, so a utility straying outside its learned syscall allowlist
+// counts as an invariant violation here too.
 func RunDiffFuzz(n int, seed int64) (*DiffFuzzReport, error) {
+	audit, err := profiles.Load(kernel.ModeProtego)
+	if err != nil {
+		return nil, fmt.Errorf("load golden profiles: %v", err)
+	}
+	cfg := difffuzz.Config{SeccompAudit: audit}
 	rep := &DiffFuzzReport{Seed: seed, Traces: n}
 	gen := difffuzz.NewGenerator(seed)
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		tr := gen.Next()
-		res, err := difffuzz.Run(tr, difffuzz.Config{})
+		res, err := difffuzz.Run(tr, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("trace %d: %v", i, err)
 		}
@@ -58,7 +68,7 @@ func RunDiffFuzz(n int, seed int64) (*DiffFuzzReport, error) {
 		}
 		rep.InvariantViolations += len(res.Violations)
 		if res.Failed() {
-			min := difffuzz.Shrink(tr, difffuzz.Config{})
+			min := difffuzz.Shrink(tr, cfg)
 			rep.Failures = append(rep.Failures,
 				fmt.Sprintf("trace %d: %s\nreplay:\n%s", i, res, min.GoLiteral()))
 		}
@@ -82,7 +92,7 @@ func RunDiffFuzz(n int, seed int64) (*DiffFuzzReport, error) {
 	fstart := time.Now()
 	for i := 0; i < freshN; i++ {
 		tr := fgen.Next()
-		if _, err := difffuzz.Run(tr, difffuzz.Config{FreshBoot: true}); err != nil {
+		if _, err := difffuzz.Run(tr, difffuzz.Config{FreshBoot: true, SeccompAudit: audit}); err != nil {
 			return nil, fmt.Errorf("fresh-boot trace %d: %v", i, err)
 		}
 	}

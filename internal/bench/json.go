@@ -38,6 +38,10 @@ type Report struct {
 	// Fleet holds the snapshot-clone and multi-tenant throughput run
 	// recorded by `protego-bench -fleet -json <path>`.
 	Fleet *FleetReport `json:"fleet,omitempty"`
+	// Seccomp holds the syscall-allowlist attack-surface table and the
+	// enter() prologue overhead gate recorded by
+	// `protego-bench -seccomp -json <path>`.
+	Seccomp *SeccompReport `json:"seccomp,omitempty"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit

@@ -8,7 +8,10 @@ import (
 )
 
 // idxTask is an unprivileged task for exercising the whitelist directly.
-type idxTask struct{ uid int }
+type idxTask struct {
+	lsm.NullFilterSlot
+	uid int
+}
 
 func (t idxTask) PID() int                    { return 100 }
 func (t idxTask) UID() int                    { return t.uid }

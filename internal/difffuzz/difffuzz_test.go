@@ -6,6 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"protego/internal/kernel"
+	"protego/internal/seccomp"
+	"protego/internal/seccomp/profiles"
 )
 
 // runSweep executes n generated traces from the fixed seed under cfg,
@@ -65,13 +69,28 @@ func runSweep(t *testing.T, seed int64, n int, cfg Config, workers int) int {
 	return explained
 }
 
+// learnedProfiles loads the committed golden profile set for the Protego
+// image, which the sweep enforces as a standing audit invariant: no
+// utility may ever exceed its learned syscall allowlist.
+func learnedProfiles(t *testing.T) *seccomp.ProfileSet {
+	t.Helper()
+	set, err := profiles.Load(kernel.ModeProtego)
+	if err != nil {
+		t.Fatalf("load golden profiles: %v", err)
+	}
+	return set
+}
+
 // TestDiffFuzz is the deterministic differential sweep: fixed seeds, both
 // dcache ablation arms, and a parallel arm that exercises the sharded
-// task/lock structures under the race detector.
+// task/lock structures under the race detector. Every arm audits against
+// the committed golden seccomp profiles — a syscall outside a binary's
+// learned allowlist is an invariant violation and fails the sweep.
 func TestDiffFuzz(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential sweep is slow under -short")
 	}
+	audit := learnedProfiles(t)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 4 {
 		workers = 4
@@ -83,10 +102,10 @@ func TestDiffFuzz(t *testing.T) {
 		cfg     Config
 		workers int
 	}{
-		{"serial/dcache-on", 1, 200, Config{}, 1},
-		{"serial/dcache-off", 2, 60, Config{DcacheOff: true}, 1},
-		{"parallel/dcache-on", 3, 60, Config{}, workers},
-		{"parallel/dcache-off", 4, 60, Config{DcacheOff: true}, workers},
+		{"serial/dcache-on", 1, 200, Config{SeccompAudit: audit}, 1},
+		{"serial/dcache-off", 2, 60, Config{DcacheOff: true, SeccompAudit: audit}, 1},
+		{"parallel/dcache-on", 3, 60, Config{SeccompAudit: audit}, workers},
+		{"parallel/dcache-off", 4, 60, Config{DcacheOff: true, SeccompAudit: audit}, workers},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -138,6 +157,39 @@ func TestDiffFuzzDetectsBrokenPolicy(t *testing.T) {
 		return
 	}
 	t.Fatal("broken mount policy was never detected in 200 traces")
+}
+
+// TestSeccompAuditDetectsViolation proves the audit invariant has teeth:
+// with a deliberately empty profile set every syscall on the Protego
+// machine is out of profile, so the very first trace must surface
+// seccomp-profile violations (without perturbing execution — audit mode
+// records instead of denying, and the trace itself still runs).
+func TestSeccompAuditDetectsViolation(t *testing.T) {
+	empty := seccomp.NewSet(kernel.ModeProtego.String())
+	tr := NewGenerator(1).Next()
+	res, err := Run(tr, Config{SeccompAudit: empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits int
+	for _, v := range res.Violations {
+		if v.Invariant != "seccomp-profile" {
+			t.Fatalf("unexpected invariant %q: %+v", v.Invariant, v)
+		}
+		hits++
+	}
+	if hits == 0 {
+		t.Fatal("empty profile set produced no seccomp-profile violations")
+	}
+	// The same trace under the learned profiles is violation-free,
+	// proving the hits above are the crafted profile, not harness noise.
+	res, err = Run(tr, Config{SeccompAudit: learnedProfiles(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("trace fails under the learned profiles: %s", res)
+	}
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"protego/internal/errno"
 	"protego/internal/kernel"
 	"protego/internal/netstack"
+	"protego/internal/seccomp"
 	"protego/internal/userspace"
 	"protego/internal/world"
 )
@@ -26,6 +27,13 @@ type Config struct {
 	// bench can measure the speedup and so a suspected snapshot bug can
 	// be ruled out by rerunning a reproducer against fresh boots.
 	FreshBoot bool
+	// SeccompAudit, when non-nil, installs the learned syscall profiles
+	// on the Protego image in audit mode and turns any observed
+	// out-of-profile syscall into a "seccomp-profile" violation: the
+	// standing invariant that no utility ever exceeds its learned
+	// profile. Audit mode records instead of denying, so the trace under
+	// test executes identically with or without the invariant armed.
+	SeccompAudit *seccomp.ProfileSet
 }
 
 // Divergence is an unexplained behavioral difference between the images.
@@ -81,9 +89,16 @@ type machineCtx struct {
 	m        *world.Machine
 	sessions []*kernel.Task
 	socks    [socketSlots]*netstack.Socket
+	// secAudit is the audit-mode seccomp module watching this machine
+	// (Protego image with Config.SeccompAudit set only).
+	secAudit *seccomp.Module
 }
 
-func newMachineCtx(mode kernel.Mode, cfg Config) (*machineCtx, error) {
+// newMachineCtx boots one image for a trace run. prep, when non-nil, runs
+// after the ablations and before the actor sessions are created — the
+// profiler installs its recorder there, so session-setup syscalls are
+// observed at exactly the point an enforcing module would mediate them.
+func newMachineCtx(mode kernel.Mode, cfg Config, prep func(*world.Machine)) (*machineCtx, error) {
 	var m *world.Machine
 	var err error
 	if cfg.FreshBoot {
@@ -102,6 +117,14 @@ func newMachineCtx(mode kernel.Mode, cfg Config) (*machineCtx, error) {
 		m.Protego.TestHookBreakMountPolicy(true)
 	}
 	c := &machineCtx{m: m}
+	if cfg.SeccompAudit != nil && mode == kernel.ModeProtego {
+		c.secAudit = seccomp.NewModule(cfg.SeccompAudit, true)
+		m.K.LSM.Register(c.secAudit)
+		m.K.SetSyscallGate(true)
+	}
+	if prep != nil {
+		prep(m)
+	}
 	for _, name := range actors {
 		sess, err := m.Session(name)
 		if err != nil {
@@ -143,11 +166,11 @@ type stepOutcome struct {
 // by-design privilege relaxations, and checking the standing invariants
 // on the Protego image. It stops at the first failure.
 func Run(tr Trace, cfg Config) (*Result, error) {
-	lin, err := newMachineCtx(kernel.ModeLinux, cfg)
+	lin, err := newMachineCtx(kernel.ModeLinux, cfg, nil)
 	if err != nil {
 		return nil, fmt.Errorf("difffuzz: build baseline: %w", err)
 	}
-	pro, err := newMachineCtx(kernel.ModeProtego, cfg)
+	pro, err := newMachineCtx(kernel.ModeProtego, cfg, nil)
 	if err != nil {
 		return nil, fmt.Errorf("difffuzz: build protego: %w", err)
 	}
@@ -176,12 +199,46 @@ func Run(tr Trace, cfg Config) (*Result, error) {
 		}
 		checkTaskInvariant(pro, i, res)
 		checkMountInvariant(pro, i, res)
+		drainSeccompViolations(pro, i, res)
 		if len(res.Violations) > 0 {
 			return res, nil
 		}
 		prevProFP = proFP
 	}
 	return res, nil
+}
+
+// drainSeccompViolations converts audit-mode profile breaches observed up
+// to (and including) step idx into "seccomp-profile" violations.
+func drainSeccompViolations(pro *machineCtx, idx int, res *Result) {
+	if pro.secAudit == nil {
+		return
+	}
+	for _, v := range pro.secAudit.TakeViolations() {
+		res.Violations = append(res.Violations, Violation{Step: idx, Invariant: "seccomp-profile",
+			Detail: fmt.Sprintf("pid=%d bin=%s issued %s outside its learned profile",
+				v.PID, v.Binary, v.Sysno)})
+	}
+}
+
+// Replay executes the trace on a fresh golden-image pair with no
+// fingerprint comparison or invariant checking — the cheap drive the
+// seccomp profiler uses to push the difffuzz corpus through instrumented
+// machines. prep receives each machine before its sessions are created.
+func Replay(tr Trace, prep func(*world.Machine)) error {
+	lin, err := newMachineCtx(kernel.ModeLinux, Config{}, prep)
+	if err != nil {
+		return fmt.Errorf("difffuzz: build baseline: %w", err)
+	}
+	pro, err := newMachineCtx(kernel.ModeProtego, Config{}, prep)
+	if err != nil {
+		return fmt.Errorf("difffuzz: build protego: %w", err)
+	}
+	res := &Result{}
+	for i, s := range tr {
+		_ = execStep(lin, pro, s, res, i)
+	}
+	return nil
 }
 
 // execStep applies one step to both machines and performs the op-specific

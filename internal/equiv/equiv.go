@@ -111,6 +111,28 @@ func (s *Scenario) run(mode kernel.Mode) (*Outcome, error) {
 	return out, nil
 }
 
+// ReplayOn executes the scenario on m without judging the outcome. The
+// seccomp profiler drives the learning corpus through it: the scenario's
+// setup, session, run, and effect all execute, so every syscall the
+// utility issues on that machine is observable by an installed recorder,
+// but pass/fail comparison stays Compare's job.
+func (s *Scenario) ReplayOn(m *world.Machine) error {
+	if s.Setup != nil {
+		if err := s.Setup(m); err != nil {
+			return fmt.Errorf("setup: %w", err)
+		}
+	}
+	sess, err := m.Session(s.User)
+	if err != nil {
+		return err
+	}
+	_, _, _, _ = m.Run(sess, s.Argv, s.asker())
+	if s.Effect != nil {
+		_ = s.Effect(m)
+	}
+	return nil
+}
+
 // Mismatch describes a divergence between the two systems.
 type Mismatch struct {
 	Scenario string

@@ -52,12 +52,20 @@ type Manager struct {
 
 // NewManager boots one golden machine of the given mode and freezes it.
 func NewManager(mode kernel.Mode) (*Manager, error) {
-	m, err := world.Build(world.Options{Mode: mode})
+	return NewManagerOpts(world.Options{Mode: mode})
+}
+
+// NewManagerOpts boots the golden machine from full build options, for
+// fleets whose tenants need more than a bare mode — e.g. machine images
+// with seccomp profiles installed, which every stamped tenant inherits
+// through the snapshot.
+func NewManagerOpts(opts world.Options) (*Manager, error) {
+	m, err := world.Build(opts)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: build golden: %w", err)
 	}
 	snap := m.Snapshot()
-	return &Manager{mode: mode, golden: m, snap: snap, goldenFP: m.Fingerprint()}, nil
+	return &Manager{mode: opts.Mode, golden: m, snap: snap, goldenFP: m.Fingerprint()}, nil
 }
 
 // Golden returns the golden machine backing the fleet.

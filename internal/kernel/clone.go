@@ -41,6 +41,9 @@ func (k *Kernel) Clone() *Kernel {
 
 	c.nextPID.Store(k.nextPID.Load())
 	c.unprivNS.Store(k.unprivNS.Load())
+	// The gate is part of machine identity: a clone of a seccomp-enforcing
+	// machine keeps enforcing once the world layer re-registers the module.
+	c.sysGate.Store(k.sysGate.Load())
 	c.binaries.Store(k.binaries.Load())
 	emptyDevs := make(map[string]IoctlHandler)
 	c.devices.Store(&emptyDevs)
@@ -95,6 +98,9 @@ func (t *Task) cloneInto(c *Kernel, fdMap map[*FileDesc]*FileDesc) *Task {
 		}
 		nt.fds[fd] = nf
 	}
+	// The syscall-entry slot carries a profile the clone's re-registered
+	// seccomp module shares by reference, so the pointer copies over.
+	nt.sysFilter.Store(t.sysFilter.Load())
 	return nt
 }
 

@@ -94,6 +94,11 @@ type Kernel struct {
 
 	unprivNS atomic.Bool
 
+	// sysGate arms the TaskSyscall LSM hook inside the enter() prologue.
+	// Off by default; the world builder flips it on when a seccomp module
+	// joins the chain, so machines without one pay a single atomic load.
+	sysGate atomic.Bool
+
 	// faults is the optional fault-injection layer (nil in normal runs).
 	// An atomic pointer so the sweep harness can install/replace it while
 	// syscalls are in flight; checks read the snapshot lock-free.
@@ -295,6 +300,9 @@ func (k *Kernel) Fork(parent *Task) *Task {
 		}
 		child.fds[fd] = f
 	}
+	// Like seccomp filters across fork(2): the syscall-entry slot is
+	// inherited (boxes are immutable, so the pointer is shared).
+	child.sysFilter.Store(parent.sysFilter.Load())
 	parent.mu.Unlock()
 
 	child.pid = int(k.nextPID.Add(1))
@@ -387,13 +395,13 @@ func (k *Kernel) Exec(t *Task, path string, argv []string, env map[string]string
 	// The exit event is emitted when control transfers to the new image,
 	// not when the program finishes: the program's own syscalls must not
 	// nest inside the exec latency sample.
-	tok := k.sysEnter("exec", t)
+	tok, perr := k.enter(t, SysExec)
 	fail := func(ferr error) (int, error) {
 		k.Trace.SyscallExit(tok, ferr)
 		return -1, ferr
 	}
-	if ferr := k.faultCheck(faultinject.SiteSysExec); ferr != nil {
-		return fail(ferr)
+	if perr != nil {
+		return fail(perr)
 	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()

@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"protego/internal/errno"
-	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/vfs"
 )
@@ -52,9 +51,9 @@ func (k *Kernel) fileOpenHook(t *Task, path string, ino *vfs.Inode, write bool, 
 
 // Open opens path and installs a descriptor in the task's fd table.
 func (k *Kernel) Open(t *Task, path string, flags int) (fd int, err error) {
-	tok := k.sysEnter("open", t)
+	tok, err := k.enter(t, SysOpen)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysOpen); err != nil {
+	if err != nil {
 		return -1, err
 	}
 	clean := vfs.CleanPath(path, t.Cwd())
@@ -118,9 +117,9 @@ func (t *Task) fdesc(fd int) (*FileDesc, error) {
 
 // Read reads up to n bytes from the descriptor.
 func (k *Kernel) Read(t *Task, fd, n int) (buf []byte, err error) {
-	tok := k.sysEnter("read", t)
+	tok, err := k.enter(t, SysRead)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysRead); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	f, err := t.fdesc(fd)
@@ -146,9 +145,9 @@ func (k *Kernel) Read(t *Task, fd, n int) (buf []byte, err error) {
 
 // Write writes data at the descriptor's position (or appends with O_APPEND).
 func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
-	tok := k.sysEnter("write", t)
+	tok, err := k.enter(t, SysWrite)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysWrite); err != nil {
+	if err != nil {
 		return 0, err
 	}
 	f, err := t.fdesc(fd)
@@ -186,8 +185,11 @@ func (k *Kernel) Write(t *Task, fd int, data []byte) (n int, err error) {
 
 // CloseFD releases a descriptor.
 func (k *Kernel) CloseFD(t *Task, fd int) (err error) {
-	tok := k.sysEnter("close", t)
+	tok, err := k.enter(t, SysClose)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.fds[fd]; !ok {
@@ -199,7 +201,12 @@ func (k *Kernel) CloseFD(t *Task, fd int) (err error) {
 
 // SetCloseOnExec marks a descriptor close-on-exec (Protego marks shadow
 // file handles this way so they cannot be inherited, §4.4).
-func (k *Kernel) SetCloseOnExec(t *Task, fd int, on bool) error {
+func (k *Kernel) SetCloseOnExec(t *Task, fd int, on bool) (err error) {
+	tok, err := k.enter(t, SysFcntl)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	f, err := t.fdesc(fd)
 	if err != nil {
 		return err
@@ -210,15 +217,21 @@ func (k *Kernel) SetCloseOnExec(t *Task, fd int, on bool) error {
 
 // Stat returns the inode at path.
 func (k *Kernel) Stat(t *Task, path string) (ino *vfs.Inode, err error) {
-	tok := k.sysEnter("stat", t)
+	tok, err := k.enter(t, SysStat)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return nil, err
+	}
 	return k.FS.Stat(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Access reports whether the task may access path with the given rights.
 func (k *Kernel) Access(t *Task, path string, want int) (err error) {
-	tok := k.sysEnter("access", t)
+	tok, err := k.enter(t, SysAccess)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	ino, err := k.FS.Stat(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 	if err != nil {
 		return err
@@ -229,9 +242,9 @@ func (k *Kernel) Access(t *Task, path string, want int) (err error) {
 // ReadFile is the open+read+close convenience used by the utilities. All
 // LSM open mediation applies.
 func (k *Kernel) ReadFile(t *Task, path string) (buf []byte, err error) {
-	tok := k.sysEnter("readfile", t)
+	tok, err := k.enter(t, SysReadFile)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysReadFile); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	clean := vfs.CleanPath(path, t.Cwd())
@@ -260,9 +273,9 @@ func (k *Kernel) ReadFile(t *Task, path string) (buf []byte, err error) {
 // WriteFile is the open+write+close convenience (creates with mode 0644
 // owned by the task's fsuid when absent). LSM open mediation applies.
 func (k *Kernel) WriteFile(t *Task, path string, data []byte) (err error) {
-	tok := k.sysEnter("writefile", t)
+	tok, err := k.enter(t, SysWriteFile)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysWriteFile); err != nil {
+	if err != nil {
 		return err
 	}
 	clean := vfs.CleanPath(path, t.Cwd())
@@ -287,8 +300,11 @@ func (k *Kernel) WriteFile(t *Task, path string, data []byte) (err error) {
 
 // AppendFile appends to an existing file with LSM mediation.
 func (k *Kernel) AppendFile(t *Task, path string, data []byte) (err error) {
-	tok := k.sysEnter("appendfile", t)
+	tok, err := k.enter(t, SysAppendFile)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -304,8 +320,11 @@ func (k *Kernel) AppendFile(t *Task, path string, data []byte) (err error) {
 
 // Mkdir creates a directory owned by the task's fsuid.
 func (k *Kernel) Mkdir(t *Task, path string, mode vfs.Mode) (err error) {
-	tok := k.sysEnter("mkdir", t)
+	tok, err := k.enter(t, SysMkdir)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	creds := t.credsRef()
 	_, err = k.FS.Mkdir(creds, vfs.CleanPath(path, t.Cwd()), mode, creds.FUID, creds.FGID)
 	return err
@@ -313,43 +332,61 @@ func (k *Kernel) Mkdir(t *Task, path string, mode vfs.Mode) (err error) {
 
 // Unlink removes a file.
 func (k *Kernel) Unlink(t *Task, path string) (err error) {
-	tok := k.sysEnter("unlink", t)
+	tok, err := k.enter(t, SysUnlink)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return k.FS.Remove(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Rename moves a file.
 func (k *Kernel) Rename(t *Task, oldPath, newPath string) (err error) {
-	tok := k.sysEnter("rename", t)
+	tok, err := k.enter(t, SysRename)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return k.FS.Rename(t.credsRef(), vfs.CleanPath(oldPath, t.Cwd()), vfs.CleanPath(newPath, t.Cwd()))
 }
 
 // Chmod changes permission bits.
 func (k *Kernel) Chmod(t *Task, path string, mode vfs.Mode) (err error) {
-	tok := k.sysEnter("chmod", t)
+	tok, err := k.enter(t, SysChmod)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return k.FS.Chmod(t.credsRef(), vfs.CleanPath(path, t.Cwd()), mode)
 }
 
 // Chown changes ownership.
 func (k *Kernel) Chown(t *Task, path string, uid, gid int) (err error) {
-	tok := k.sysEnter("chown", t)
+	tok, err := k.enter(t, SysChown)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return k.FS.Chown(t.credsRef(), vfs.CleanPath(path, t.Cwd()), uid, gid)
 }
 
 // ReadDir lists a directory.
 func (k *Kernel) ReadDir(t *Task, path string) (names []string, err error) {
-	tok := k.sysEnter("readdir", t)
+	tok, err := k.enter(t, SysReadDir)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return nil, err
+	}
 	return k.FS.ReadDir(t.credsRef(), vfs.CleanPath(path, t.Cwd()))
 }
 
 // Chdir changes the working directory.
 func (k *Kernel) Chdir(t *Task, path string) (err error) {
-	tok := k.sysEnter("chdir", t)
+	tok, err := k.enter(t, SysChdir)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	clean := vfs.CleanPath(path, t.Cwd())
 	ino, err := k.FS.Lookup(t.credsRef(), clean)
 	if err != nil {

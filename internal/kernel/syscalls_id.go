@@ -3,29 +3,49 @@ package kernel
 import (
 	"protego/internal/caps"
 	"protego/internal/errno"
-	"protego/internal/faultinject"
 	"protego/internal/lsm"
 )
 
+// The get*id family cannot fail on Linux and returns no error here either:
+// a seccomp denial is recorded on the trace (and in the profile stats) but
+// the id is still returned, matching how an errno-returning getuid would be
+// read by callers that never check it.
+
 // Getuid returns the real uid.
-func (k *Kernel) Getuid(t *Task) int { return t.UID() }
+func (k *Kernel) Getuid(t *Task) int {
+	tok, err := k.enter(t, SysGetuid)
+	k.Trace.SyscallExit(tok, err)
+	return t.UID()
+}
 
 // Geteuid returns the effective uid.
-func (k *Kernel) Geteuid(t *Task) int { return t.EUID() }
+func (k *Kernel) Geteuid(t *Task) int {
+	tok, err := k.enter(t, SysGeteuid)
+	k.Trace.SyscallExit(tok, err)
+	return t.EUID()
+}
 
 // Getgid returns the real gid.
-func (k *Kernel) Getgid(t *Task) int { return t.GID() }
+func (k *Kernel) Getgid(t *Task) int {
+	tok, err := k.enter(t, SysGetgid)
+	k.Trace.SyscallExit(tok, err)
+	return t.GID()
+}
 
 // Getegid returns the effective gid.
-func (k *Kernel) Getegid(t *Task) int { return t.EGID() }
+func (k *Kernel) Getegid(t *Task) int {
+	tok, err := k.enter(t, SysGetegid)
+	k.Trace.SyscallExit(tok, err)
+	return t.EGID()
+}
 
 // Getpid returns the process id; it is the "null syscall" used by the
 // lmbench-style microbenchmark (and therefore the purest measure of the
 // trace layer's per-syscall emission cost).
 func (k *Kernel) Getpid(t *Task) int {
-	tok := k.sysEnter("getpid", t)
+	tok, err := k.enter(t, SysGetpid)
 	pid := t.PID()
-	k.Trace.SyscallExit(tok, nil)
+	k.Trace.SyscallExit(tok, err)
 	return pid
 }
 
@@ -37,9 +57,9 @@ func (k *Kernel) Getpid(t *Task) int {
 // is reported but the change is applied at the next exec once the target
 // binary is validated against the delegation rules).
 func (k *Kernel) Setuid(t *Task, uid int) (err error) {
-	tok := k.sysEnter("setuid", t)
+	tok, err := k.enter(t, SysSetuid)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysSetuid); err != nil {
+	if err != nil {
 		return err
 	}
 	if uid < 0 {
@@ -92,8 +112,11 @@ func (k *Kernel) Setuid(t *Task, uid int) (err error) {
 // Seteuid implements seteuid(2): unprivileged tasks may set the effective
 // uid to any of the real, effective, or saved uids.
 func (k *Kernel) Seteuid(t *Task, uid int) (err error) {
-	tok := k.sysEnter("seteuid", t)
+	tok, err := k.enter(t, SysSeteuid)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	creds := t.credsRef()
 	if creds.Capable(caps.CAP_SETUID) || uid == creds.RUID || uid == creds.EUID || uid == creds.SUID {
 		t.mu.Lock()
@@ -110,8 +133,11 @@ func (k *Kernel) Seteuid(t *Task, uid int) (err error) {
 // Setgid implements setgid(2) with the Protego extension for
 // password-protected groups (newgrp, §4.3).
 func (k *Kernel) Setgid(t *Task, gid int) (err error) {
-	tok := k.sysEnter("setgid", t)
+	tok, err := k.enter(t, SysSetgid)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	if gid < 0 {
 		return errno.EINVAL
 	}
@@ -149,8 +175,11 @@ func (k *Kernel) Setgid(t *Task, gid int) (err error) {
 
 // Setgroups replaces the supplementary groups; requires CAP_SETGID.
 func (k *Kernel) Setgroups(t *Task, groups []int) (err error) {
-	tok := k.sysEnter("setgroups", t)
+	tok, err := k.enter(t, SysSetgroups)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	creds := t.credsRef()
 	if !creds.Capable(caps.CAP_SETGID) {
 		return errno.EPERM

@@ -33,8 +33,11 @@ const (
 // then the LSM mediates; then the registered device handler runs with the
 // grant decision.
 func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) (err error) {
-	tok := k.sysEnter("ioctl", t)
+	tok, err := k.enter(t, SysIoctl)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	clean := vfs.CleanPath(devPath, t.Cwd())
 	creds := t.credsRef()
 	ino, err := k.FS.Lookup(creds, clean)
@@ -62,8 +65,11 @@ func (k *Kernel) Ioctl(t *Task, devPath string, cmd uint32, arg any) (err error)
 
 // SigAction installs a signal handler (lmbench "sig install").
 func (k *Kernel) SigAction(t *Task, sig int, handler func(int)) (err error) {
-	tok := k.sysEnter("sigaction", t)
+	tok, err := k.enter(t, SysSigAction)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	if sig <= 0 || sig > 64 {
 		return errno.EINVAL
 	}
@@ -76,8 +82,11 @@ func (k *Kernel) SigAction(t *Task, sig int, handler func(int)) (err error) {
 // Kill delivers a signal to the target pid. Permission follows Unix rules:
 // same real/effective uid, or CAP_KILL.
 func (k *Kernel) Kill(t *Task, pid, sig int) (err error) {
-	tok := k.sysEnter("kill", t)
+	tok, err := k.enter(t, SysKill)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	target := k.Task(pid)
 	if target == nil {
 		return errno.ESRCH

@@ -3,7 +3,6 @@ package kernel
 import (
 	"protego/internal/caps"
 	"protego/internal/errno"
-	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/vfs"
 )
@@ -24,9 +23,9 @@ func hasOpt(opts []string, opt string) bool {
 // /etc/fstab and may Grant the call for an unprivileged task — the right
 // half of the paper's Figure 1.
 func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) (err error) {
-	tok := k.sysEnter("mount", t)
+	tok, err := k.enter(t, SysMount)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysMount); err != nil {
+	if err != nil {
 		return err
 	}
 	req := &lsm.MountRequest{
@@ -64,9 +63,9 @@ func (k *Kernel) Mount(t *Task, device, point, fstype string, options []string) 
 // Umount implements umount(2) under the same split: CAP_SYS_ADMIN or an
 // LSM grant (user entries in /etc/fstab are unmountable by users).
 func (k *Kernel) Umount(t *Task, point string) (err error) {
-	tok := k.sysEnter("umount", t)
+	tok, err := k.enter(t, SysUmount)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysUmount); err != nil {
+	if err != nil {
 		return err
 	}
 	clean := vfs.CleanPath(point, t.Cwd())

@@ -5,7 +5,6 @@ import (
 
 	"protego/internal/caps"
 	"protego/internal/errno"
-	"protego/internal/faultinject"
 	"protego/internal/lsm"
 	"protego/internal/netstack"
 )
@@ -15,9 +14,9 @@ import (
 // Protego the LSM grants unprivileged raw sockets, tagging them so the
 // netfilter extension filters their outgoing packets (§4.1.1).
 func (k *Kernel) Socket(t *Task, family, typ, proto int) (sock *netstack.Socket, err error) {
-	tok := k.sysEnter("socket", t)
+	tok, err := k.enter(t, SysSocket)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysSocket); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	raw := typ == netstack.SOCK_RAW || family == netstack.AF_PACKET
@@ -54,9 +53,9 @@ func (k *Kernel) Socket(t *Task, family, typ, proto int) (sock *netstack.Socket,
 // allocation table mapping each privileged port to one (binary, uid)
 // application instance (§4.1.3).
 func (k *Kernel) Bind(t *Task, sock *netstack.Socket, port int) (err error) {
-	tok := k.sysEnter("bind", t)
+	tok, err := k.enter(t, SysBind)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
-	if err = k.faultCheck(faultinject.SiteSysBind); err != nil {
+	if err != nil {
 		return err
 	}
 	if port > 0 && port < 1024 {
@@ -80,54 +79,84 @@ func (k *Kernel) Bind(t *Task, sock *netstack.Socket, port int) (err error) {
 }
 
 // Listen implements listen(2).
-func (k *Kernel) Listen(t *Task, sock *netstack.Socket, backlog int) error {
+func (k *Kernel) Listen(t *Task, sock *netstack.Socket, backlog int) (err error) {
+	tok, err := k.enter(t, SysListen)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return sock.Stack().Listen(sock, backlog)
 }
 
 // Accept implements accept(2) with a timeout (the simulation has no
 // blocking-forever semantics).
-func (k *Kernel) Accept(t *Task, sock *netstack.Socket, timeout time.Duration) (*netstack.Socket, error) {
+func (k *Kernel) Accept(t *Task, sock *netstack.Socket, timeout time.Duration) (conn *netstack.Socket, err error) {
+	tok, err := k.enter(t, SysAccept)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return nil, err
+	}
 	return sock.Stack().Accept(sock, timeout)
 }
 
 // Connect implements connect(2).
 func (k *Kernel) Connect(t *Task, sock *netstack.Socket, dst netstack.IP, port int) (err error) {
-	tok := k.sysEnter("connect", t)
+	tok, err := k.enter(t, SysConnect)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return sock.Stack().Connect(sock, dst, port)
 }
 
 // Send implements send(2) on a connected stream socket.
 func (k *Kernel) Send(t *Task, sock *netstack.Socket, data []byte) (n int, err error) {
-	tok := k.sysEnter("send", t)
+	tok, err := k.enter(t, SysSend)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return 0, err
+	}
 	return sock.Stack().Send(sock, data)
 }
 
 // Recv implements recv(2).
 func (k *Kernel) Recv(t *Task, sock *netstack.Socket, timeout time.Duration) (buf []byte, err error) {
-	tok := k.sysEnter("recv", t)
+	tok, err := k.enter(t, SysRecv)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return nil, err
+	}
 	return sock.Stack().Recv(sock, timeout)
 }
 
 // SendTo implements sendto(2) for datagram and raw sockets. Raw packets
 // pass the netfilter OUTPUT chain inside the stack.
 func (k *Kernel) SendTo(t *Task, sock *netstack.Socket, pkt *netstack.Packet) (err error) {
-	tok := k.sysEnter("sendto", t)
+	tok, err := k.enter(t, SysSendTo)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return sock.Stack().SendTo(sock, pkt)
 }
 
 // RecvFrom implements recvfrom(2).
 func (k *Kernel) RecvFrom(t *Task, sock *netstack.Socket, timeout time.Duration) (pkt *netstack.Packet, err error) {
-	tok := k.sysEnter("recvfrom", t)
+	tok, err := k.enter(t, SysRecvFrom)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return nil, err
+	}
 	return sock.Stack().RecvFrom(sock, timeout)
 }
 
 // CloseSocket releases the socket.
-func (k *Kernel) CloseSocket(t *Task, sock *netstack.Socket) error {
+func (k *Kernel) CloseSocket(t *Task, sock *netstack.Socket) (err error) {
+	tok, err := k.enter(t, SysCloseSock)
+	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	return sock.Stack().Close(sock)
 }
 
@@ -141,8 +170,11 @@ const (
 // Protego the LSM grants route additions by unprivileged pppd sessions when
 // the new route does not conflict with existing routes (§4.1.2).
 func (k *Kernel) AddRoute(t *Task, r netstack.Route) (err error) {
-	tok := k.sysEnter("addroute", t)
+	tok, err := k.enter(t, SysAddRoute)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	// Routes inside a private network namespace affect nobody else: the
 	// namespace creator manages them freely (§6).
 	if ns := k.netNSOf(t); ns != nil {
@@ -171,8 +203,11 @@ func (k *Kernel) AddRoute(t *Task, r netstack.Route) (err error) {
 // DelRoute mediates route removal: CAP_NET_ADMIN, or an LSM grant limited
 // to routes the same user created.
 func (k *Kernel) DelRoute(t *Task, dest netstack.IP, prefixLen int) (err error) {
-	tok := k.sysEnter("delroute", t)
+	tok, err := k.enter(t, SysDelRoute)
 	defer func() { k.Trace.SyscallExit(tok, err) }()
+	if err != nil {
+		return err
+	}
 	if ns := k.netNSOf(t); ns != nil {
 		if ns.owner != t.UID() && !t.Capable(caps.CAP_NET_ADMIN) {
 			return errno.EPERM

@@ -1,0 +1,58 @@
+package kernel
+
+import "testing"
+
+// TestSysnoCatalog pins the catalog's invariants: every entry round-trips
+// through String/FromName, names are unique, and the invalid sentinel
+// stays outside the valid range. The committed golden profiles reference
+// syscalls by these names, so a rename here is a breaking change to every
+// profile on disk.
+func TestSysnoCatalog(t *testing.T) {
+	all := Sysnos()
+	if len(all) != NumSysno-1 {
+		t.Fatalf("Sysnos() returned %d entries, want %d (NumSysno minus the invalid slot)",
+			len(all), NumSysno-1)
+	}
+	seen := map[string]Sysno{}
+	for _, sn := range all {
+		if !sn.Valid() {
+			t.Errorf("Sysnos() returned invalid entry %d", sn)
+		}
+		name := sn.String()
+		if name == "" || name == "invalid" {
+			t.Errorf("Sysno(%d) has no trace name", sn)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("name %q claimed by both Sysno(%d) and Sysno(%d)", name, prev, sn)
+		}
+		seen[name] = sn
+		back, ok := FromName(name)
+		if !ok || back != sn {
+			t.Errorf("FromName(%q) = (%d, %v), want (%d, true)", name, back, ok, sn)
+		}
+	}
+
+	if SysInvalid.Valid() {
+		t.Error("SysInvalid reports Valid")
+	}
+	if got := SysInvalid.String(); got != "invalid" {
+		t.Errorf("SysInvalid.String() = %q, want %q", got, "invalid")
+	}
+	if _, ok := FromName("invalid"); ok {
+		t.Error("FromName resolved the invalid sentinel")
+	}
+	if _, ok := FromName("no-such-syscall"); ok {
+		t.Error("FromName resolved an unknown name")
+	}
+
+	// A few spot checks that the trace names kernel methods have always
+	// emitted survived the catalog extraction.
+	for name, want := range map[string]Sysno{
+		"open": SysOpen, "readfile": SysReadFile, "exec": SysExec,
+		"closesock": SysCloseSock, "fcntl": SysFcntl, "setuid": SysSetuid,
+	} {
+		if got, ok := FromName(name); !ok || got != want {
+			t.Errorf("FromName(%q) = (%d, %v), want (%d, true)", name, got, ok, want)
+		}
+	}
+}

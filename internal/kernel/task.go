@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"protego/internal/caps"
 )
@@ -26,6 +27,13 @@ type Task struct {
 	argv   []string
 	env    map[string]string
 	blobs  map[string]any
+
+	// sysFilter is the dedicated syscall-entry slot (lsm.Task's
+	// SyscallFilter), read lock-free on every enter() — the analogue of
+	// task_struct keeping seccomp state in its own field instead of
+	// behind the security pointer. Boxes are immutable once stored, so
+	// fork and machine clone inherit by copying the pointer.
+	sysFilter atomic.Pointer[sysFilterSlot]
 
 	fds    map[int]*FileDesc
 	nextFD int
@@ -99,6 +107,21 @@ func (t *Task) SetSecurityBlob(key string, v any) {
 	}
 	t.blobs[key] = v
 }
+
+// sysFilterSlot boxes a SyscallFilter value so an explicitly stored nil
+// stays distinguishable from a never-populated slot.
+type sysFilterSlot struct{ v any }
+
+// SyscallFilter implements lsm.Task.
+func (t *Task) SyscallFilter() (any, bool) {
+	if s := t.sysFilter.Load(); s != nil {
+		return s.v, true
+	}
+	return nil, false
+}
+
+// SetSyscallFilter implements lsm.Task.
+func (t *Task) SetSyscallFilter(v any) { t.sysFilter.Store(&sysFilterSlot{v: v}) }
 
 // Creds returns a snapshot copy of the task's credentials.
 func (t *Task) Creds() *Credentials {

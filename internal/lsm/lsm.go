@@ -11,6 +11,7 @@
 package lsm
 
 import (
+	"sync/atomic"
 	"time"
 
 	"protego/internal/caps"
@@ -46,7 +47,30 @@ type Task interface {
 	SecurityBlob(key string) any
 	// SetSecurityBlob attaches module-private state to the task.
 	SetSecurityBlob(key string, v any)
+	// SyscallFilter returns the task's dedicated syscall-entry slot and
+	// whether it has ever been populated. Unlike the keyed blob map the
+	// slot is read lock-free — it sits on every syscall's hot path, the
+	// way task_struct keeps its seccomp state in a dedicated field rather
+	// than behind the security pointer. At most one syscall-mediating
+	// module may own the slot; a stored nil is a meaningful value
+	// (distinct from never-populated), letting the owner cache "no
+	// per-task filter applies".
+	SyscallFilter() (v any, populated bool)
+	// SetSyscallFilter populates the syscall-entry slot (nil included).
+	SetSyscallFilter(v any)
 }
+
+// NullFilterSlot is an embeddable no-op implementation of Task's
+// syscall-filter slot for Task implementors that never meet a syscall
+// mediator (policy-unit fakes in tests). The kernel's task keeps a real
+// lock-free slot instead.
+type NullFilterSlot struct{}
+
+// SyscallFilter reports a never-populated slot.
+func (NullFilterSlot) SyscallFilter() (any, bool) { return nil, false }
+
+// SetSyscallFilter discards the value.
+func (NullFilterSlot) SetSyscallFilter(any) {}
 
 // Decision is a module's opinion about an operation.
 type Decision int
@@ -209,7 +233,23 @@ type Module interface {
 	// FileOpen mediates opens: Deny blocks a DAC-admitted open, Grant
 	// admits a DAC-denied one (e.g. ssh-keysign reading the host key).
 	FileOpen(t Task, req *OpenRequest) (Decision, error)
+	// TaskSyscall mediates syscall entry itself: the kernel consults it
+	// from the single enter() prologue before dispatching any syscall, so
+	// a module can enforce a per-task syscall allowlist (seccomp-style).
+	// sysno is the kernel.Sysno catalog number, name its trace name; lsm
+	// deliberately takes plain values so the dependency keeps pointing
+	// kernel -> lsm. Deny surfaces to the caller as ENOSYS. A module that
+	// overrides this hook MUST also implement SyscallMediator, or the
+	// chain — which pre-filters the hot path down to mediators at
+	// registration — will never call it.
+	TaskSyscall(t Task, sysno int, name string) (Decision, error)
 }
+
+// SyscallMediator marks modules whose TaskSyscall does real work. The
+// chain walks only mediators on the per-syscall hot path, so the many
+// modules keeping Base's structural no-op cost nothing there — not even
+// an interface dispatch per syscall.
+type SyscallMediator interface{ MediatesSyscall() }
 
 // Base provides no-opinion defaults for all hooks.
 type Base struct{}
@@ -241,6 +281,9 @@ func (Base) ExecCheck(Task, *ExecRequest) (*CredUpdate, error) { return nil, nil
 // FileOpen has no opinion by default.
 func (Base) FileOpen(Task, *OpenRequest) (Decision, error) { return NoOpinion, nil }
 
+// TaskSyscall has no opinion by default.
+func (Base) TaskSyscall(Task, int, string) (Decision, error) { return NoOpinion, nil }
+
 // combine merges a new decision into an accumulator: Deny dominates, then
 // DeferToExec, then Grant, then NoOpinion.
 func combine(acc, d Decision) Decision {
@@ -255,27 +298,50 @@ func combine(acc, d Decision) Decision {
 // permissive decision is reported to the kernel.
 type Chain struct {
 	modules []Module
+	// sysMods is the subset of modules implementing SyscallMediator, the
+	// only ones TaskSyscall walks (see that hook's contract).
+	sysMods []Module
 	// tracer, when set, receives one decision event per hook evaluation
 	// (tagged with the winning module) plus per-module decision counts.
 	// It is installed once at kernel construction, before any concurrent
 	// hook traffic.
 	tracer *trace.Tracer
+	// sysAllow counts TaskSyscall evaluations where every module had no
+	// opinion. That hook runs on every syscall's hot path, so the
+	// unanimous-allow case lands in one atomic (surfaced as the
+	// lsm.syscall.allow fast-path counter in /proc/trace/stats) instead
+	// of the per-call observe/count machinery.
+	sysAllow atomic.Uint64
 }
 
 // NewChain creates a chain over the given modules (evaluated in order).
 func NewChain(modules ...Module) *Chain {
-	return &Chain{modules: append([]Module(nil), modules...)}
+	c := &Chain{}
+	for _, m := range modules {
+		c.Register(m)
+	}
+	return c
 }
 
 // Register appends a module to the chain.
-func (c *Chain) Register(m Module) { c.modules = append(c.modules, m) }
+func (c *Chain) Register(m Module) {
+	c.modules = append(c.modules, m)
+	if _, ok := m.(SyscallMediator); ok {
+		c.sysMods = append(c.sysMods, m)
+	}
+}
 
 // Modules returns the registered modules in evaluation order.
 func (c *Chain) Modules() []Module { return c.modules }
 
 // SetTracer installs the trace sink for hook decisions. Must be called
 // before the chain sees concurrent traffic (the kernel does it at boot).
-func (c *Chain) SetTracer(tr *trace.Tracer) { c.tracer = tr }
+func (c *Chain) SetTracer(tr *trace.Tracer) {
+	c.tracer = tr
+	if tr != nil {
+		tr.RegisterCounter("lsm.syscall.allow", func() uint64 { return c.sysAllow.Load() })
+	}
+}
 
 // Name implements Module for nested chains.
 func (c *Chain) Name() string { return "chain" }
@@ -405,6 +471,41 @@ func (c *Chain) ExecCheck(t Task, req *ExecRequest) (*CredUpdate, error) {
 // FileOpen runs the hook across the chain.
 func (c *Chain) FileOpen(t Task, req *OpenRequest) (Decision, error) {
 	return c.run("FileOpen", t, func(m Module) (Decision, error) { return m.FileOpen(t, req) })
+}
+
+// TaskSyscall runs the syscall-entry hook across the chain. The chain
+// discipline is the same as run's — Deny or an error short-circuits,
+// otherwise the strongest permissive decision wins — but the hook sits on
+// every syscall's hot path, so the overwhelmingly common unanimous
+// no-opinion outcome bypasses the per-call count/observe machinery and
+// bumps the lsm.syscall.allow fast-path counter instead. Effectual
+// decisions (a deny, a grant, a module error) still flow through the
+// count and observe path, so they appear in /proc/trace/stats exactly
+// like every other hook's. Latency is not separately sampled here: the
+// per-syscall histograms already bracket the prologue. Only modules
+// registered as SyscallMediator are consulted.
+func (c *Chain) TaskSyscall(t Task, sysno int, name string) (Decision, error) {
+	acc := NoOpinion
+	winner := ""
+	for _, m := range c.sysMods {
+		dec, err := m.TaskSyscall(t, sysno, name)
+		if dec == Deny || err != nil {
+			c.count("TaskSyscall", m.Name(), dec, err)
+			c.observe("TaskSyscall", t, Deny, m.Name(), err, time.Now())
+			return Deny, err
+		}
+		if next := combine(acc, dec); next != acc {
+			acc = next
+			winner = m.Name()
+		}
+	}
+	if acc == NoOpinion {
+		c.sysAllow.Add(1)
+		return NoOpinion, nil
+	}
+	c.count("TaskSyscall", winner, acc, nil)
+	c.observe("TaskSyscall", t, acc, winner, nil, time.Now())
+	return acc, nil
 }
 
 // ResolveGroups queries the first module implementing GroupResolver.

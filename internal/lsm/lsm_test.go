@@ -41,7 +41,10 @@ func (m *scriptedModule) ResolveGroups(int) ([]int, bool) {
 }
 
 // nullTask satisfies Task for chain tests.
-type nullTask struct{ blobs map[string]any }
+type nullTask struct {
+	NullFilterSlot
+	blobs map[string]any
+}
 
 func (n *nullTask) PID() int              { return 1 }
 func (n *nullTask) UID() int              { return 1000 }

@@ -1,0 +1,85 @@
+package profiler
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"protego/internal/kernel"
+	"protego/internal/seccomp"
+	"protego/internal/seccomp/profiles"
+)
+
+var update = flag.Bool("update", false, "regenerate the committed golden profiles")
+
+// TestGoldenProfilesUpToDate is the CI drift gate: it relearns both
+// images' profiles from the corpus and compares byte-for-byte against the
+// committed goldens, so any behavior change that moves a utility's
+// syscall footprint shows up as a reviewable JSON diff. Regenerate with:
+//
+//	go test ./internal/seccomp/profiler -run TestGoldenProfilesUpToDate -args -update
+func TestGoldenProfilesUpToDate(t *testing.T) {
+	lin, pro, err := Learn()
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	for _, c := range []struct {
+		mode kernel.Mode
+		set  *seccomp.ProfileSet
+		file string
+	}{
+		{kernel.ModeLinux, lin, "linux.json"},
+		{kernel.ModeProtego, pro, "protego.json"},
+	} {
+		data, err := c.set.Encode()
+		if err != nil {
+			t.Fatalf("encode %s: %v", c.mode, err)
+		}
+		if *update {
+			path := filepath.Join("..", "profiles", c.file)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatalf("write %s: %v", path, err)
+			}
+			t.Logf("wrote %s (%d binaries, machine profile %d syscalls)",
+				path, len(c.set.Binaries()), c.set.Machine.Len())
+			continue
+		}
+		if !bytes.Equal(data, profiles.Raw(c.mode)) {
+			t.Errorf("%s profile drifted from committed golden %s;\n"+
+				"regenerate with: go test ./internal/seccomp/profiler -run TestGoldenProfilesUpToDate -args -update\n"+
+				"and review the diff", c.mode, c.file)
+		}
+	}
+}
+
+// TestLearnDeterminism proves the profiler's core property: the same
+// corpus yields byte-identical profiles, run to run. Without it the drift
+// gate would flake instead of gating.
+func TestLearnDeterminism(t *testing.T) {
+	lin1, pro1, err := Learn()
+	if err != nil {
+		t.Fatalf("Learn #1: %v", err)
+	}
+	lin2, pro2, err := Learn()
+	if err != nil {
+		t.Fatalf("Learn #2: %v", err)
+	}
+	for _, c := range []struct {
+		name string
+		a, b *seccomp.ProfileSet
+	}{{"linux", lin1, lin2}, {"protego", pro1, pro2}} {
+		da, err := c.a.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := c.b.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(da, db) {
+			t.Errorf("%s: two Learn runs over the same corpus produced different profiles", c.name)
+		}
+	}
+}

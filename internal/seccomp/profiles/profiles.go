@@ -1,0 +1,38 @@
+// Package profiles holds the committed golden syscall profiles, one
+// document per machine image, in the Moby/OCI profiles/ JSON shape. They
+// are regenerated deterministically from the functional corpora by
+// internal/seccomp/profiler (go test ./internal/seccomp/profiler -run
+// TestGoldenProfilesUpToDate -args -update); the same test, without the
+// flag, is the CI drift gate.
+package profiles
+
+import (
+	_ "embed"
+	"fmt"
+
+	"protego/internal/kernel"
+	"protego/internal/seccomp"
+)
+
+//go:embed linux.json
+var linuxJSON []byte
+
+//go:embed protego.json
+var protegoJSON []byte
+
+// Raw returns the committed bytes of the mode's profile document.
+func Raw(mode kernel.Mode) []byte {
+	if mode == kernel.ModeProtego {
+		return protegoJSON
+	}
+	return linuxJSON
+}
+
+// Load decodes the committed profile set for mode.
+func Load(mode kernel.Mode) (*seccomp.ProfileSet, error) {
+	set, err := seccomp.Decode(Raw(mode))
+	if err != nil {
+		return nil, fmt.Errorf("profiles: %s: %w", mode, err)
+	}
+	return set, nil
+}

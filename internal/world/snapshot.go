@@ -6,6 +6,7 @@ import (
 	"protego/internal/accountdb"
 	"protego/internal/authsvc"
 	"protego/internal/monitord"
+	"protego/internal/seccomp"
 )
 
 // Snapshot is a frozen golden image of a machine. Clone stamps out
@@ -59,6 +60,14 @@ func (s *Snapshot) Clone() (*Machine, error) {
 		}
 		m.Protego = mod
 		m.Monitor = monitord.New(k, m.DB, mod)
+	}
+	if p.Seccomp != nil {
+		// Last in the chain, as in Build. Profiles are immutable, so the
+		// clone's module shares the parent's set by reference; tasks keep
+		// their inherited profile blobs through Kernel.Clone's blob copy,
+		// and the syscall gate itself was copied with the kernel.
+		m.Seccomp = seccomp.NewModule(p.Seccomp.Set(), p.Seccomp.Audit())
+		k.LSM.Register(m.Seccomp)
 	}
 
 	m.Init = k.Task(p.Init.PID())

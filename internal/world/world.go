@@ -21,6 +21,7 @@ import (
 	"protego/internal/kernel"
 	"protego/internal/monitord"
 	"protego/internal/netstack"
+	"protego/internal/seccomp"
 	"protego/internal/userspace"
 	"protego/internal/vfs"
 )
@@ -66,13 +67,23 @@ type Options struct {
 	// SkipInitialSync skips the boot-time monitord synchronization
 	// (Protego mode only) so tests can drive it manually.
 	SkipInitialSync bool
+	// SeccompProfiles, when non-nil, installs the learned syscall
+	// allowlists as the last LSM module and arms the kernel's syscall
+	// gate, so every syscall entry is checked against the issuing
+	// binary's profile. The set must not be mutated after Build; clones
+	// and fleet tenants share it by reference.
+	SeccompProfiles *seccomp.ProfileSet
+	// SeccompAudit makes the installed profiles record violations
+	// instead of denying (the difffuzz invariant configuration).
+	SeccompAudit bool
 }
 
 // Machine is a booted image.
 type Machine struct {
 	K        *kernel.Kernel
 	AppArmor *apparmor.Module
-	Protego  *core.Module // nil on the baseline
+	Protego  *core.Module    // nil on the baseline
+	Seccomp  *seccomp.Module // nil unless Options.SeccompProfiles was set
 	Monitor  *monitord.Daemon
 	Auth     *authsvc.Service
 	DB       *accountdb.DB
@@ -134,6 +145,15 @@ func Build(opts Options) (*Machine, error) {
 				return nil, fmt.Errorf("world: initial sync: %w", err)
 			}
 		}
+	}
+
+	// The seccomp module registers LAST: its ExecCheck swaps the task's
+	// profile for the new image, and every module with veto power must
+	// have had its chance to short-circuit the exec before that swap.
+	if opts.SeccompProfiles != nil {
+		m.Seccomp = seccomp.NewModule(opts.SeccompProfiles, opts.SeccompAudit)
+		k.LSM.Register(m.Seccomp)
+		k.SetSyscallGate(true)
 	}
 
 	m.Init = k.InitTask()
