@@ -324,10 +324,11 @@ func BenchmarkAblationSetuidOnExec(b *testing.B) {
 		alice.Asker = world.AnswerWith(world.AlicePassword)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			code, _, _, err := m.K.SpawnCapture(alice, userspace.BinSudo,
-				[]string{userspace.BinSudo, userspace.BinID}, nil, alice.Asker)
-			if err != nil || code != 0 {
-				b.Fatalf("code=%d err=%v", code, err)
+			res, err := m.K.Spawn(alice, userspace.BinSudo,
+				[]string{userspace.BinSudo, userspace.BinID}, nil,
+				kernel.SpawnOpts{Capture: true, Asker: alice.Asker})
+			if err != nil || res.Code != 0 {
+				b.Fatalf("code=%d err=%v", res.Code, err)
 			}
 		}
 	})
@@ -336,10 +337,11 @@ func BenchmarkAblationSetuidOnExec(b *testing.B) {
 		charlie := mustSession(b, m, "charlie") // %wheel NOPASSWD: /bin/ls
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			code, _, _, err := m.K.SpawnCapture(charlie, userspace.BinSudo,
-				[]string{userspace.BinSudo, userspace.BinLs, "/tmp"}, nil, nil)
-			if err != nil || code != 0 {
-				b.Fatalf("code=%d err=%v", code, err)
+			res, err := m.K.Spawn(charlie, userspace.BinSudo,
+				[]string{userspace.BinSudo, userspace.BinLs, "/tmp"}, nil,
+				kernel.SpawnOpts{Capture: true})
+			if err != nil || res.Code != 0 {
+				b.Fatalf("code=%d err=%v", res.Code, err)
 			}
 		}
 	})

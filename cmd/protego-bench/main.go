@@ -22,6 +22,10 @@
 // unexplained divergence or invariant violation. -seccomp tabulates the
 // per-binary syscall attack-surface reduction from the committed golden
 // allowlists and gates the syscall-entry prologue overhead at 5%.
+// -vulngen N generates N misconfigured environments (seeded by
+// -vulngenseed) and replays the full CVE corpus inside each on mutated
+// baseline/Protego snapshot pairs, exiting non-zero on any uncontained
+// escalation, invariant violation, or unexplained baseline non-escalation.
 package main
 
 import (
@@ -56,6 +60,8 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "stamp N tenant machines from one golden snapshot and bench clone rate + fleet throughput")
 	fleetOps := flag.Int("fleetops", 30, "workload syscalls per tenant for -fleet")
 	seccompMode := flag.Bool("seccomp", false, "report per-binary syscall attack-surface reduction and gate the enter() prologue overhead (<5%)")
+	vulgenN := flag.Int("vulngen", 0, "generate N misconfigured environments and replay the full CVE corpus inside each")
+	vulgenSeed := flag.Int64("vulngenseed", 1, "seed for the vulnerable-environment generator")
 	flag.Parse()
 
 	if *mutexProfile != "" || *blockProfile != "" {
@@ -125,6 +131,34 @@ func main() {
 		if !rep.Clean() {
 			fmt.Fprintf(os.Stderr, "protego-bench: difffuzz: %d unexplained divergences, %d invariant violations\n",
 				rep.UnexplainedDivergences, rep.InvariantViolations)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *vulgenN > 0 {
+		rep, err := bench.RunVulngen(*vulgenN, *vulgenSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "protego-bench: vulngen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatVulngen(rep))
+		if *jsonPath != "" {
+			full, err := bench.ReadReport(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: vulngen: read %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			full.Vulngen = rep
+			if err := bench.WriteReport(*jsonPath, full); err != nil {
+				fmt.Fprintf(os.Stderr, "protego-bench: vulngen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("updated %s\n", *jsonPath)
+		}
+		if !rep.Clean() {
+			fmt.Fprintf(os.Stderr, "protego-bench: vulngen: %d uncontained escalations across %d environments\n",
+				rep.Uncontained, rep.Environments)
 			os.Exit(1)
 		}
 		return

@@ -42,6 +42,9 @@ type Report struct {
 	// enter() prologue overhead gate recorded by
 	// `protego-bench -seccomp -json <path>`.
 	Seccomp *SeccompReport `json:"seccomp,omitempty"`
+	// Vulngen holds the vulnerable-environment sweep recorded by
+	// `protego-bench -vulngen N -json <path>`.
+	Vulngen *VulngenReport `json:"vulngen,omitempty"`
 }
 
 // BenchRow is one Table 5 row. Linux/Protego are in the row's native Unit

@@ -1,23 +1,18 @@
 package difffuzz
 
-// Shrink reduces a failing trace to a minimal reproducer using
+// ShrinkSlice reduces a failing sequence to a minimal reproducer using
 // delta-debugging-style chunk removal: repeatedly try dropping spans
-// (halves, then quarters, down to single steps), keeping any reduction
-// that still fails under the same Config. Because every machine pair is
-// built fresh inside Run, the predicate is deterministic and the result
-// replays exactly.
-func Shrink(tr Trace, cfg Config) Trace {
-	fails := func(t Trace) bool {
-		if len(t) == 0 {
-			return false
-		}
-		res, err := Run(t, cfg)
-		return err == nil && res.Failed()
+// (halves, then quarters, down to single elements), keeping any reduction
+// for which fails still reports true. The predicate must be deterministic
+// — here that holds because every machine pair is built fresh per check —
+// or the result will not replay. Exported so other shrinking harnesses
+// (internal/vulngen reduces misconfiguration scenarios with it) share the
+// exact ddmin loop instead of reimplementing it.
+func ShrinkSlice[T any](items []T, fails func([]T) bool) []T {
+	if len(items) == 0 || !fails(items) {
+		return items
 	}
-	if !fails(tr) {
-		return tr
-	}
-	cur := append(Trace(nil), tr...)
+	cur := append([]T(nil), items...)
 	chunk := len(cur) / 2
 	if chunk < 1 {
 		chunk = 1
@@ -25,12 +20,12 @@ func Shrink(tr Trace, cfg Config) Trace {
 	for {
 		reduced := false
 		for start := 0; start+chunk <= len(cur); {
-			cand := append(Trace(nil), cur[:start]...)
+			cand := append([]T(nil), cur[:start]...)
 			cand = append(cand, cur[start+chunk:]...)
-			if fails(cand) {
+			if len(cand) > 0 && fails(cand) {
 				cur = cand
 				reduced = true
-				continue // retry the same start against the shorter trace
+				continue // retry the same start against the shorter sequence
 			}
 			start += chunk
 		}
@@ -40,4 +35,14 @@ func Shrink(tr Trace, cfg Config) Trace {
 			return cur
 		}
 	}
+}
+
+// Shrink reduces a failing trace to a minimal reproducer under the same
+// Config. Because every machine pair is built fresh inside Run, the
+// predicate is deterministic and the result replays exactly.
+func Shrink(tr Trace, cfg Config) Trace {
+	return Trace(ShrinkSlice([]Step(tr), func(t []Step) bool {
+		res, err := Run(Trace(t), cfg)
+		return err == nil && res.Failed()
+	}))
 }

@@ -1,0 +1,26 @@
+package faultinject
+
+import "protego/internal/errno"
+
+// MonitordReadSites is the prefix matching every monitord config-read
+// site (monitord.read.fstab, .sudoers, .bind, .ppp, .accounts).
+const MonitordReadSites = "monitord.read.*"
+
+// CrashedMonitordPlan models a monitoring daemon that crashed and stays
+// down: from the first hit on, every config read it would perform fails
+// with EIO, so no re-sync can ever land and the in-kernel /proc/protego
+// policy is pinned at its last synchronized state (keep-last-good).
+//
+// This is the composition site the vulnerable-environment generator
+// (internal/vulngen) builds its "stale policy" shape on: poison a config
+// file, crash the daemon, attempt a sync — the poisoned policy must NOT
+// reach the kernel, and the stale in-kernel whitelist keeps containing
+// what it contained before the crash.
+func CrashedMonitordPlan(seed int64) Plan {
+	return Plan{
+		Seed: seed,
+		Rules: []Rule{
+			{Site: MonitordReadSites, Action: ActErr, Err: errno.EIO},
+		},
+	}
+}

@@ -103,6 +103,12 @@ type Kernel struct {
 	// An atomic pointer so the sweep harness can install/replace it while
 	// syscalls are in flight; checks read the snapshot lock-free.
 	faults atomic.Pointer[faultinject.Injector]
+
+	// exploitHook is this machine's armed exploit payload (nil in normal
+	// runs; see exploit.go). Per-kernel — not a package global — so CVE
+	// replays on snapshot clones never serialize or cross-arm. Clones
+	// start unarmed.
+	exploitHook atomic.Pointer[ExploitFunc]
 }
 
 // shardFor returns the task-table shard owning pid.
@@ -530,15 +536,6 @@ func (k *Kernel) Spawn(parent *Task, path string, argv []string, env map[string]
 		res.Stderr = errOut.String()
 	}
 	return res, err
-}
-
-// SpawnCapture runs path in a child with fresh output buffers and an
-// optional prompt answerer.
-//
-// Deprecated: use Spawn with SpawnOpts{Capture: true, Asker: asker}.
-func (k *Kernel) SpawnCapture(parent *Task, path string, argv []string, env map[string]string, asker func(string) string) (code int, stdout, stderr string, err error) {
-	res, err := k.Spawn(parent, path, argv, env, SpawnOpts{Capture: true, Asker: asker})
-	return res.Code, res.Stdout, res.Stderr, err
 }
 
 // denyErr converts an LSM deny into a concrete error.

@@ -416,7 +416,7 @@ func TestExitRemovesTask(t *testing.T) {
 	}
 }
 
-func TestSpawnCapture(t *testing.T) {
+func TestSpawnCaptureOpt(t *testing.T) {
 	k := testKernel(t)
 	installBinary(t, k, "/bin/echo", 0o755, func(k *Kernel, t *Task) int {
 		t.Printf("out")
@@ -424,9 +424,9 @@ func TestSpawnCapture(t *testing.T) {
 		return 0
 	})
 	parent := userTask(k, 1000, 100)
-	code, out, errOut, err := k.SpawnCapture(parent, "/bin/echo", []string{"/bin/echo"}, nil, nil)
-	if err != nil || code != 0 || out != "out" || errOut != "err" {
-		t.Fatalf("spawn: %d %q %q %v", code, out, errOut, err)
+	res, err := k.Spawn(parent, "/bin/echo", []string{"/bin/echo"}, nil, SpawnOpts{Capture: true})
+	if err != nil || res.Code != 0 || res.Stdout != "out" || res.Stderr != "err" {
+		t.Fatalf("spawn: %d %q %q %v", res.Code, res.Stdout, res.Stderr, err)
 	}
 }
 

@@ -261,6 +261,45 @@ func TestSudoersLineContinuation(t *testing.T) {
 	}
 }
 
+// Regression (found by the vulngen misconfiguration fuzzer): a Cmnd_Alias
+// cycle in /etc/sudoers must parse and match without unbounded recursion.
+// The pre-fix expand() only skipped direct self-references, so the
+// mutual cycle below overflowed the stack inside Compile — a
+// config-triggered crash reachable through the monitoring daemon's
+// delegation sync.
+func TestSudoersAliasCycle(t *testing.T) {
+	s, err := ParseSudoers(`Cmnd_Alias LOOP_A = LOOP_B, /bin/ls
+Cmnd_Alias LOOP_B = LOOP_A, /usr/bin/id
+%wheel ALL = (root) NOPASSWD: LOOP_A
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cycle degrades to its reachable terminal members: both commands
+	// stay matchable, the cycle itself confers nothing extra.
+	groups := []string{"wheel"}
+	if _, ok := s.LookupCommand("alice", groups, "root", "/bin/ls"); !ok {
+		t.Fatal("terminal member /bin/ls lost through the cycle")
+	}
+	if _, ok := s.LookupCommand("alice", groups, "root", "/usr/bin/id"); !ok {
+		t.Fatal("terminal member /usr/bin/id lost through the cycle")
+	}
+	if _, ok := s.LookupCommand("alice", groups, "root", "/bin/sh"); ok {
+		t.Fatal("cycle granted an unlisted command")
+	}
+	// A user alias cycle with no terminal members matches no one.
+	s2, err := ParseSudoers(`User_Alias CYC_X = CYC_Y
+User_Alias CYC_Y = CYC_X
+CYC_X ALL = (root) ALL
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.LookupTransition("alice", nil, "root"); ok {
+		t.Fatal("empty user-alias cycle granted a transition")
+	}
+}
+
 func TestSudoersDefaultTimeout(t *testing.T) {
 	s, err := ParseSudoers("alice ALL = (root) ALL\n")
 	if err != nil {

@@ -220,20 +220,33 @@ commands:
 	return rule, nil
 }
 
-// expand resolves an alias name through the alias table (one level, as
-// sudo allows nesting we keep it simple and iterate to a fixpoint with a
-// depth bound).
+// expand resolves an alias name through the alias table, following nested
+// aliases. A seen set breaks alias cycles (Cmnd_Alias A = B; B = A): each
+// alias is expanded at most once per lookup, so a cyclic definition
+// degrades to its reachable terminal members instead of recursing without
+// bound. (Found by the vulngen misconfiguration fuzzer: the previous
+// version only skipped self-references, so a two-alias cycle written into
+// /etc/sudoers would overflow the stack when the monitoring daemon synced
+// the delegation policy — a config-triggered kernel-side crash.)
 func expand(name string, aliases map[string][]string) []string {
+	return expandSeen(name, aliases, nil)
+}
+
+func expandSeen(name string, aliases map[string][]string, seen map[string]bool) []string {
 	members, ok := aliases[name]
 	if !ok {
 		return []string{name}
 	}
+	if seen == nil {
+		seen = make(map[string]bool, 4)
+	}
+	seen[name] = true
 	var out []string
 	for _, m := range members {
-		if m == name {
+		if seen[m] {
 			continue
 		}
-		out = append(out, expand(m, aliases)...)
+		out = append(out, expandSeen(m, aliases, seen)...)
 	}
 	return out
 }

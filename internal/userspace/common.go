@@ -65,19 +65,17 @@ const (
 // exploits an input parsing bug").
 const ExploitEnv = "PROTEGO_EXPLOIT"
 
-// ExploitHook is invoked by a utility at its injection point when
-// ExploitEnv is set. The exploits package installs it; the payload runs
-// with whatever credentials the process holds at that moment, which is the
-// entire point of the Table 6 evaluation.
-var ExploitHook func(k *kernel.Kernel, t *kernel.Task, cve string)
-
-// maybeExploit fires the injected payload if one is armed.
+// maybeExploit fires the machine's armed exploit payload, if any
+// (kernel.SetExploitHook). The hook lives on the kernel — per machine,
+// not a package global — so parallel CVE replays on snapshot clones never
+// observe each other's payloads.
 func maybeExploit(k *kernel.Kernel, t *kernel.Task) {
-	if ExploitHook == nil {
+	hook := k.ExploitHook()
+	if hook == nil {
 		return
 	}
 	if cve := t.Getenv(ExploitEnv); cve != "" {
-		ExploitHook(k, t, cve)
+		hook(k, t, cve)
 	}
 }
 

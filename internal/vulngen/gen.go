@@ -1,0 +1,85 @@
+package vulngen
+
+import "math/rand"
+
+// Generator produces scenarios deterministically from a seed. Shapes
+// rotate round-robin so every fixed-size sweep covers all of them evenly;
+// pool selectors and noise come from the seeded stream, so two generators
+// with the same seed emit identical scenario sequences (the property the
+// CI smoke and the regression story both rest on).
+type Generator struct {
+	rng  *rand.Rand
+	next int
+}
+
+// NewGenerator returns a generator for the seed.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Scenario emits the next generated environment.
+func (g *Generator) Scenario() Scenario {
+	shape := Shape(g.next % int(shapeCount))
+	g.next++
+	sc := Scenario{Shape: shape, Muts: g.canonical(shape)}
+	g.addNoise(&sc)
+	return sc
+}
+
+// canonical is the mutation skeleton each shape is built from — also the
+// minimal form ddmin shrinks a failing scenario of that shape back to.
+func (g *Generator) canonical(shape Shape) []Mut {
+	sel := func() uint8 { return uint8(g.rng.Intn(256)) }
+	switch shape {
+	case ShapeFstabWritable:
+		return []Mut{
+			{Op: MutChmodConfig, A: cfgFstab},
+			{Op: MutFstabRow, A: rowPoison},
+			{Op: MutSyncPolicy},
+		}
+	case ShapeStalePolicy:
+		return []Mut{
+			{Op: MutChmodConfig, A: cfgFstab},
+			{Op: MutCrashMonitord},
+			{Op: MutFstabRow, A: rowPoison},
+			{Op: MutSyncPolicy},
+		}
+	case ShapeAliasCycle:
+		return []Mut{
+			{Op: MutAliasCycle},
+			{Op: MutSyncPolicy},
+		}
+	case ShapeDanglingDelegation:
+		return []Mut{
+			{Op: MutDanglingRule, A: sel()},
+			{Op: MutSyncPolicy},
+		}
+	case ShapeSetuidDebris:
+		return []Mut{
+			{Op: MutSetuidDebris, A: sel()},
+		}
+	}
+	return nil
+}
+
+// addNoise inserts 0–2 benign mutations at random positions before the
+// scenario's last mutation, so the canonical shape is exercised amid
+// unrelated configuration churn (what ddmin later strips away).
+func (g *Generator) addNoise(sc *Scenario) {
+	n := g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		var m Mut
+		switch g.rng.Intn(3) {
+		case 0:
+			m = Mut{Op: MutChmodConfig, A: uint8(g.rng.Intn(256))}
+		case 1:
+			// Benign user-mountable rows only — never the poison row,
+			// which would change the shape's concession story.
+			m = Mut{Op: MutFstabRow, A: uint8(1 + g.rng.Intn(len(fstabRowPool)-1))}
+		case 2:
+			m = Mut{Op: MutSyncPolicy}
+		}
+		pos := g.rng.Intn(len(sc.Muts))
+		sc.Muts = append(sc.Muts[:pos], append([]Mut{m}, sc.Muts[pos:]...)...)
+	}
+}
